@@ -1,0 +1,108 @@
+// Shared harness code for the per-table/per-figure benchmark binaries.
+//
+// Every binary runs with no arguments using scaled-down dataset replicas
+// (see DESIGN.md §1) and accepts:
+//   --max-edges N   replica edge cap (default varies per bench)
+//   --full          paper-scale replicas (slow!)
+//   --feature F     feature size override
+//   --seed S        experiment seed
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+#include "models/reference.hpp"
+#include "systems/system.hpp"
+
+namespace tlp::bench {
+
+struct BenchConfig {
+  graph::ReplicaOptions replica;
+  std::int64_t feature_size = 32;
+  std::uint64_t seed = 42;
+
+  static BenchConfig from_args(const Args& args,
+                               std::int64_t default_max_edges,
+                               std::int64_t default_feature) {
+    BenchConfig cfg;
+    cfg.replica.max_edges = args.get_int("max-edges", default_max_edges);
+    cfg.replica.full = args.get_bool("full", false);
+    cfg.replica.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    cfg.feature_size = args.get_int("feature", default_feature);
+    cfg.seed = cfg.replica.seed;
+    return cfg;
+  }
+};
+
+/// Cache of replica graphs so multi-system benches build each one once.
+class GraphCache {
+ public:
+  explicit GraphCache(const BenchConfig& cfg) : cfg_(cfg) {}
+
+  const graph::Csr& get(const std::string& abbr) {
+    auto it = cache_.find(abbr);
+    if (it == cache_.end()) {
+      it = cache_
+               .emplace(abbr, graph::make_dataset(graph::dataset_by_abbr(abbr),
+                                                  cfg_.replica))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  BenchConfig cfg_;
+  std::map<std::string, graph::Csr> cache_;
+};
+
+/// GPU scale divisor matching a dataset replica's scale-down: a replica with
+/// 1/k of the paper's edges runs on a machine with ~1/k of the V100's SMs,
+/// caches, and bandwidth, so working-set:cache and compute:bandwidth ratios
+/// — which decide who wins — match the full-scale experiment (DESIGN.md §1).
+/// Clamped so at least 4 SMs remain.
+inline int gpu_divisor(const graph::DatasetSpec& ds, const BenchConfig& cfg) {
+  if (cfg.replica.full || ds.edges <= cfg.replica.max_edges) return 1;
+  const double ratio =
+      static_cast<double>(ds.edges) / static_cast<double>(cfg.replica.max_edges);
+  return std::clamp(static_cast<int>(ratio), 1, 20);
+}
+
+inline sim::GpuSpec gpu_for(const graph::DatasetSpec& ds,
+                            const BenchConfig& cfg) {
+  return sim::GpuSpec::v100_scaled(gpu_divisor(ds, cfg));
+}
+
+/// Random features for a graph, deterministic per (seed, graph size).
+inline tensor::Tensor make_features(const graph::Csr& g, std::int64_t f,
+                                    std::uint64_t seed) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(g.num_vertices()) << 20) ^
+          static_cast<std::uint64_t>(f));
+  return tensor::Tensor::random(g.num_vertices(), f, rng);
+}
+
+/// Runs `system_name` on one dataset replica and returns the result.
+inline systems::RunResult run_system(const std::string& system_name,
+                                     models::ModelKind kind,
+                                     const graph::Csr& g,
+                                     const tensor::Tensor& feat,
+                                     std::uint64_t seed,
+                                     const sim::GpuSpec& gpu = sim::GpuSpec::v100()) {
+  Rng rng(seed);
+  const models::ConvSpec spec =
+      models::ConvSpec::make(kind, feat.cols(), rng);
+  sim::Device dev(gpu);
+  auto sys = systems::make_system(system_name);
+  return sys->run(dev, g, feat, spec);
+}
+
+inline void print_header(const std::string& title, const std::string& setup) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), setup.c_str());
+}
+
+}  // namespace tlp::bench

@@ -1,0 +1,82 @@
+// Graph attention (GAT) with the fused one-kernel design, contrasted with
+// the unfused three-kernel pipeline — the §6 kernel-fusion story as a
+// runnable program. Also demonstrates swapping systems behind the common
+// GnnSystem interface.
+//
+//   build/examples/gat_attention [--dataset PI] [--feature 32]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "graph/datasets.hpp"
+#include "models/reference.hpp"
+#include "systems/tlpgnn_system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlp;
+  const Args args(argc, argv);
+  const auto& ds = graph::dataset_by_abbr(args.get("dataset", "PI"));
+  const graph::Csr g =
+      graph::make_dataset(ds, {.max_edges = args.get_int("max-edges", 200'000)});
+  const std::int64_t f = args.get_int("feature", 32);
+  std::printf("dataset %s: %s, GAT single head, F=%lld\n", ds.name,
+              g.summary().c_str(), static_cast<long long>(f));
+
+  Rng rng(3);
+  const tensor::Tensor feat = tensor::Tensor::random(g.num_vertices(), f, rng);
+  const models::ConvSpec spec =
+      models::ConvSpec::make(models::ModelKind::kGat, f, rng);
+
+  auto report = [&](const char* label, const systems::RunResult& r) {
+    std::printf(
+        "%-12s %d kernels, %s ms GPU, peak device mem %s, traffic %s\n", label,
+        r.kernel_launches, fixed(r.gpu_time_ms, 3).c_str(),
+        human_bytes(static_cast<double>(r.peak_device_bytes)).c_str(),
+        human_bytes(r.metrics.bytes_load + r.metrics.bytes_store +
+                    r.metrics.bytes_atomic)
+            .c_str());
+  };
+
+  // Fused: one kernel, no materialized per-edge state.
+  systems::TlpgnnSystem fused;
+  sim::Device dev;
+  const systems::RunResult rf = fused.run(dev, g, feat, spec);
+  report("fused", rf);
+
+  // Unfused: attention/softmax, u_mul_e message materialization, sum.
+  systems::TlpgnnOptions opts;
+  opts.fused_gat = false;
+  systems::TlpgnnSystem unfused(opts);
+  const systems::RunResult ru = unfused.run(dev, g, feat, spec);
+  report("three-kernel", ru);
+
+  std::printf("fusion speedup: %sx, memory saved: %s\n",
+              fixed(ru.gpu_time_ms / rf.gpu_time_ms, 2).c_str(),
+              human_bytes(static_cast<double>(ru.peak_device_bytes -
+                                              rf.peak_device_bytes))
+                  .c_str());
+
+  const tensor::Tensor ref = models::reference_conv(g, feat, spec);
+  std::printf("both match the CPU reference: %s\n",
+              tensor::allclose(rf.output, ref, 1e-3, 1e-4) &&
+                      tensor::allclose(ru.output, ref, 1e-3, 1e-4)
+                  ? "yes"
+                  : "NO");
+
+  // Peek at learned attention: strongest in-neighbor of the highest-degree
+  // vertex under the softmax weights.
+  graph::VertexId hub = 0;
+  for (graph::VertexId v = 1; v < g.num_vertices(); ++v)
+    if (g.degree(v) > g.degree(hub)) hub = v;
+  const auto logits = models::reference_gat_logits(g, feat, spec.gat);
+  const auto base = g.indptr()[static_cast<std::size_t>(hub)];
+  const auto ns = g.neighbors(hub);
+  std::size_t best = 0;
+  for (std::size_t e = 1; e < ns.size(); ++e)
+    if (logits[static_cast<std::size_t>(base) + e] >
+        logits[static_cast<std::size_t>(base) + best])
+      best = e;
+  std::printf("hub vertex %d (deg %lld) attends most to neighbor %d\n", hub,
+              static_cast<long long>(g.degree(hub)), ns[best]);
+  return 0;
+}

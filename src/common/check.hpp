@@ -1,0 +1,54 @@
+// Checked-assertion macros used across the library.
+//
+// TLP_CHECK is always on (release included) and throws tlp::CheckError so
+// callers and tests can observe contract violations; TLP_DCHECK compiles out
+// in NDEBUG builds and guards hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tlp {
+
+/// Thrown when a TLP_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace tlp
+
+#define TLP_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::tlp::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TLP_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream tlp_check_os_;                              \
+      tlp_check_os_ << msg;                                          \
+      ::tlp::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  tlp_check_os_.str());              \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define TLP_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define TLP_DCHECK(cond) TLP_CHECK(cond)
+#endif

@@ -1,0 +1,54 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace tlp {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(tok));
+      continue;
+    }
+    tok = tok.substr(2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      named_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      named_[tok] = argv[++i];
+    } else {
+      named_[tok] = "true";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return named_.count(name) > 0; }
+
+std::string Args::get(const std::string& name, const std::string& def) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::get_bool(const std::string& name, bool def) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace tlp

@@ -1,0 +1,35 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace tlp {
+
+std::string fixed(double value, int digits) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", digits, value);
+  return buf.data();
+}
+
+std::string human_count(double value) {
+  const double a = std::fabs(value);
+  if (a >= 1e9) return fixed(value / 1e9, 1) + "B";
+  if (a >= 1e6) return fixed(value / 1e6, 1) + "M";
+  if (a >= 1e3) return fixed(value / 1e3, 1) + "K";
+  if (value == std::floor(value)) return fixed(value, 0);
+  return fixed(value, 1);
+}
+
+std::string human_bytes(double bytes) {
+  const double a = std::fabs(bytes);
+  if (a >= 1024.0 * 1024.0 * 1024.0)
+    return fixed(bytes / (1024.0 * 1024.0 * 1024.0), 2) + "GB";
+  if (a >= 1024.0 * 1024.0) return fixed(bytes / (1024.0 * 1024.0), 2) + "MB";
+  if (a >= 1024.0) return fixed(bytes / 1024.0, 2) + "KB";
+  return fixed(bytes, 0) + "B";
+}
+
+std::string pct(double fraction) { return fixed(fraction * 100.0, 1) + "%"; }
+
+}  // namespace tlp

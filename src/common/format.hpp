@@ -1,0 +1,21 @@
+// Human-friendly number formatting shared by the benchmark tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tlp {
+
+/// 1536 -> "1.5K", 2400000 -> "2.4M"; exact below 1000.
+std::string human_count(double value);
+
+/// 1.5e9 -> "1.40GB"; chooses B/KB/MB/GB.
+std::string human_bytes(double bytes);
+
+/// Fixed-point with `digits` decimals, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double value, int digits);
+
+/// Percentage with one decimal, e.g. pct(0.411) == "41.1%".
+std::string pct(double fraction);
+
+}  // namespace tlp

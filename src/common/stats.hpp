@@ -1,0 +1,23 @@
+// Summary statistics used by graph degree analysis and benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tlp {
+
+double mean(std::span<const double> xs);
+double geomean(std::span<const double> xs);  ///< requires all xs > 0
+double stddev(std::span<const double> xs);   ///< population std deviation
+
+/// q in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double q);
+
+/// Coefficient of variation (stddev / mean); 0 for empty or zero-mean input.
+double coeff_variation(std::span<const double> xs);
+
+/// Gini coefficient of a non-negative sample — used to quantify degree skew.
+double gini(std::vector<double> xs);
+
+}  // namespace tlp

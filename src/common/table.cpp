@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tlp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TLP_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  TLP_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      // Left-align the first column (labels), right-align the rest (numbers).
+      const auto pad = width[c] - row[c].size();
+      if (c == 0) {
+        os << row[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace tlp

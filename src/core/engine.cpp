@@ -1,0 +1,35 @@
+#include "core/engine.hpp"
+
+#include "tensor/dense_ops.hpp"
+
+namespace tlp {
+
+Engine::Engine(const EngineOptions& opts)
+    : opts_(opts), device_(std::make_unique<sim::Device>(opts.gpu)),
+      system_(opts.tlpgnn) {}
+
+systems::RunResult Engine::conv(const graph::Csr& g,
+                                const tensor::Tensor& feat,
+                                const models::ConvSpec& spec) {
+  TLP_CHECK_MSG(feat.rows() == g.num_vertices(),
+                "feature rows " << feat.rows() << " != vertices "
+                                << g.num_vertices());
+  systems::RunResult r = system_.run(*device_, g, feat, spec);
+  last_ = r;
+  return r;
+}
+
+tensor::Tensor Engine::layer(const graph::Csr& g, const tensor::Tensor& h,
+                             const tensor::Tensor& weights,
+                             const models::ConvSpec& spec, bool relu) {
+  // Phase 1: dense neural op (host).
+  const tensor::Tensor transformed = tensor::matmul(h, weights);
+  // Phase 2: graph convolution (simulated GPU, measured).
+  systems::RunResult r = conv(g, transformed, spec);
+  // Phase 3: activation (host).
+  tensor::Tensor out = relu ? tensor::relu(r.output) : std::move(r.output);
+  last_.output = out;
+  return out;
+}
+
+}  // namespace tlp

@@ -1,0 +1,54 @@
+#include "core/gnn_model.hpp"
+
+#include <cmath>
+
+#include "tensor/dense_ops.hpp"
+
+namespace tlp {
+
+GnnModel::GnnModel(std::int64_t in_features, std::uint64_t seed)
+    : width_(in_features), rng_(seed) {
+  TLP_CHECK(in_features >= 1);
+}
+
+GnnModel& GnnModel::add_layer(models::ModelKind kind,
+                              std::int64_t out_features,
+                              const LayerOptions& opts) {
+  TLP_CHECK(out_features >= 1);
+  TLP_CHECK_MSG(opts.gat_heads >= 1 &&
+                    (kind != models::ModelKind::kGat ||
+                     out_features % opts.gat_heads == 0),
+                "gat_heads must divide the layer width");
+  // Glorot-ish scale keeps activations bounded through deep stacks.
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(width_));
+  layers_.push_back(
+      {tensor::Tensor::random(width_, out_features, rng_, scale), kind, opts});
+  width_ = out_features;
+  return *this;
+}
+
+tensor::Tensor GnnModel::forward(Engine& engine, const graph::Csr& g,
+                                 const tensor::Tensor& x) {
+  TLP_CHECK_MSG(!layers_.empty(), "model has no layers");
+  TLP_CHECK(x.rows() == g.num_vertices());
+  conv_ms_.clear();
+  tensor::Tensor h = x;
+  for (const Layer& layer : layers_) {
+    if (layer.opts.dropout > 0.0)
+      h = tensor::dropout(h, layer.opts.dropout, rng_);
+    models::ConvSpec spec = models::ConvSpec::make(
+        layer.kind, layer.weights.cols(), rng_, layer.opts.gat_heads);
+    h = engine.layer(g, h, layer.weights, spec, layer.opts.relu);
+    conv_ms_.push_back(engine.last_run().gpu_time_ms);
+  }
+  return h;
+}
+
+double GnnModel::total_conv_ms() const {
+  double total = 0.0;
+  for (const double ms : conv_ms_) total += ms;
+  return total;
+}
+
+}  // namespace tlp

@@ -1,0 +1,57 @@
+// Multi-layer GNN model runner on top of tlp::Engine — the host-side glue a
+// downstream user needs to go from "one measured convolution" to a full
+// forward pass (§2.1's three-phase pattern repeated per layer).
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace tlp {
+
+struct LayerOptions {
+  bool relu = true;
+  double dropout = 0.0;  ///< input dropout probability (training mode)
+  int gat_heads = 1;     ///< only meaningful for GAT layers
+};
+
+class GnnModel {
+ public:
+  /// `in_features` is the width of the input feature matrix; `seed` drives
+  /// weight initialization (and dropout during forward()).
+  GnnModel(std::int64_t in_features, std::uint64_t seed = 1);
+
+  /// Appends a layer: dense (prev_width x out_features) transform, then a
+  /// `kind` graph convolution, then optional ReLU. Returns *this for
+  /// chaining.
+  GnnModel& add_layer(models::ModelKind kind, std::int64_t out_features,
+                      const LayerOptions& opts = {});
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] std::int64_t output_features() const { return width_; }
+
+  /// Full forward pass; the graph convolutions run (and are measured) on the
+  /// engine's simulated device.
+  tensor::Tensor forward(Engine& engine, const graph::Csr& g,
+                         const tensor::Tensor& x);
+
+  /// Per-layer simulated convolution times of the most recent forward().
+  [[nodiscard]] const std::vector<double>& layer_conv_ms() const {
+    return conv_ms_;
+  }
+  [[nodiscard]] double total_conv_ms() const;
+
+ private:
+  struct Layer {
+    tensor::Tensor weights;
+    models::ModelKind kind;
+    LayerOptions opts;
+  };
+
+  std::int64_t width_;
+  Rng rng_;
+  std::vector<Layer> layers_;
+  std::vector<double> conv_ms_;
+};
+
+}  // namespace tlp

@@ -1,0 +1,56 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tlp::graph {
+
+Csr build_csr(VertexId num_vertices, std::vector<Edge> edges,
+              const BuildOptions& opts) {
+  TLP_CHECK(num_vertices >= 0);
+  for (const Edge& e : edges) {
+    TLP_CHECK_MSG(e.src >= 0 && e.src < num_vertices && e.dst >= 0 &&
+                      e.dst < num_vertices,
+                  "edge (" << e.src << "," << e.dst << ") out of range");
+  }
+  if (opts.drop_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (opts.symmetrize) {
+    const std::size_t m = edges.size();
+    edges.reserve(2 * m);
+    for (std::size_t i = 0; i < m; ++i)
+      edges.push_back({edges[i].dst, edges[i].src});
+  }
+  if (opts.add_self_loops) {
+    for (VertexId v = 0; v < num_vertices; ++v) edges.push_back({v, v});
+  }
+  // Pull CSR: group by destination, then by source within a row.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+  });
+  if (opts.dedup) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  std::vector<EdgeOffset> indptr(static_cast<std::size_t>(num_vertices) + 1, 0);
+  std::vector<VertexId> indices;
+  indices.reserve(edges.size());
+  for (const Edge& e : edges) {
+    indptr[static_cast<std::size_t>(e.dst) + 1]++;
+    indices.push_back(e.src);
+  }
+  for (std::size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+  return Csr(std::move(indptr), std::move(indices));
+}
+
+std::vector<Edge> to_edge_list(const Csr& pull_csr) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(pull_csr.num_edges()));
+  for (VertexId v = 0; v < pull_csr.num_vertices(); ++v) {
+    for (const VertexId u : pull_csr.neighbors(v)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace tlp::graph

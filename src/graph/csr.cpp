@@ -1,0 +1,68 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+
+namespace tlp::graph {
+
+Csr::Csr(std::vector<EdgeOffset> indptr, std::vector<VertexId> indices)
+    : indptr_(std::move(indptr)), indices_(std::move(indices)) {
+  validate();
+}
+
+EdgeOffset Csr::max_degree() const {
+  EdgeOffset best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+Csr Csr::reversed() const {
+  const VertexId n = num_vertices();
+  std::vector<EdgeOffset> rptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const VertexId u : indices_) rptr[static_cast<std::size_t>(u) + 1]++;
+  for (std::size_t i = 1; i < rptr.size(); ++i) rptr[i] += rptr[i - 1];
+  std::vector<VertexId> ridx(indices_.size());
+  std::vector<EdgeOffset> cursor(rptr.begin(), rptr.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : neighbors(v)) {
+      ridx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    }
+  }
+  Csr out;
+  out.indptr_ = std::move(rptr);
+  out.indices_ = std::move(ridx);
+  // Row contents are appended in increasing source order, so rows stay sorted.
+  return out;
+}
+
+bool Csr::rows_sorted() const {
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto ns = neighbors(v);
+    if (!std::is_sorted(ns.begin(), ns.end())) return false;
+  }
+  return true;
+}
+
+void Csr::validate() const {
+  TLP_CHECK_MSG(!indptr_.empty(), "CSR indptr must have at least one entry");
+  TLP_CHECK(indptr_.front() == 0);
+  for (std::size_t i = 1; i < indptr_.size(); ++i)
+    TLP_CHECK_MSG(indptr_[i] >= indptr_[i - 1], "indptr not monotone at " << i);
+  TLP_CHECK(indptr_.back() == static_cast<EdgeOffset>(indices_.size()));
+  const auto n = static_cast<VertexId>(indptr_.size() - 1);
+  for (const VertexId u : indices_)
+    TLP_CHECK_MSG(u >= 0 && u < n, "neighbor id " << u << " out of range");
+}
+
+std::string Csr::summary() const {
+  std::ostringstream os;
+  os << "|V|=" << human_count(static_cast<double>(num_vertices()))
+     << ", |E|=" << human_count(static_cast<double>(num_edges()))
+     << ", avg deg=" << fixed(avg_degree(), 1);
+  return os.str();
+}
+
+}  // namespace tlp::graph

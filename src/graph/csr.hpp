@@ -1,0 +1,68 @@
+// Compressed sparse row graph — the on-host representation every kernel
+// strategy consumes. Convolution kernels aggregate over *incoming* edges
+// (pull direction), so `indices[indptr[v]..indptr[v+1])` lists the in-
+// neighbors of v unless stated otherwise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tlp::graph {
+
+using VertexId = std::int32_t;
+using EdgeOffset = std::int64_t;
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Takes ownership of prebuilt arrays. indptr.size() == n+1, sorted rows.
+  Csr(std::vector<EdgeOffset> indptr, std::vector<VertexId> indices);
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(indptr_.empty() ? 0 : indptr_.size() - 1);
+  }
+  [[nodiscard]] EdgeOffset num_edges() const {
+    return indptr_.empty() ? 0 : indptr_.back();
+  }
+  [[nodiscard]] double avg_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices();
+  }
+
+  [[nodiscard]] EdgeOffset degree(VertexId v) const {
+    return indptr_[static_cast<std::size_t>(v) + 1] -
+           indptr_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] EdgeOffset max_degree() const;
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {indices_.data() + indptr_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  [[nodiscard]] std::span<const EdgeOffset> indptr() const { return indptr_; }
+  [[nodiscard]] std::span<const VertexId> indices() const { return indices_; }
+
+  /// Graph with every edge direction flipped (in-CSR <-> out-CSR).
+  [[nodiscard]] Csr reversed() const;
+
+  /// True if each row's neighbor list is sorted ascending.
+  [[nodiscard]] bool rows_sorted() const;
+
+  /// Throws CheckError on malformed structure (bad indptr monotonicity or
+  /// out-of-range indices).
+  void validate() const;
+
+  /// "|V|=…, |E|=…, avg deg=…" summary for logging.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<EdgeOffset> indptr_;
+  std::vector<VertexId> indices_;
+};
+
+}  // namespace tlp::graph

@@ -1,0 +1,153 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace tlp::graph {
+
+namespace {
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TLP_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  return in;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  TLP_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  return out;
+}
+
+constexpr std::uint64_t kBinaryMagic = 0x54'4c'50'43'53'52'31'00ULL;  // "TLPCSR1"
+
+}  // namespace
+
+Csr read_edge_list(std::istream& in, VertexId num_vertices) {
+  std::vector<Edge> edges;
+  VertexId max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long s = 0, d = 0;
+    TLP_CHECK_MSG(static_cast<bool>(ls >> s >> d),
+                  "malformed edge-list line: '" << line << "'");
+    TLP_CHECK_MSG(s >= 0 && d >= 0, "negative vertex id in edge list");
+    edges.push_back({static_cast<VertexId>(s), static_cast<VertexId>(d)});
+    max_id = std::max({max_id, static_cast<VertexId>(s), static_cast<VertexId>(d)});
+  }
+  const VertexId n = num_vertices > 0 ? num_vertices : max_id + 1;
+  TLP_CHECK_MSG(n > max_id, "num_vertices too small for edge ids");
+  return build_csr(std::max<VertexId>(n, 1), std::move(edges),
+                   {.dedup = false});
+}
+
+Csr read_edge_list_file(const std::string& path, VertexId num_vertices) {
+  auto in = open_in(path);
+  return read_edge_list(in, num_vertices);
+}
+
+void write_edge_list(std::ostream& out, const Csr& g) {
+  out << "# tlpgnn edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) out << u << ' ' << v << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Csr& g) {
+  auto out = open_out(path);
+  write_edge_list(out, g);
+}
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  TLP_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                "empty MatrixMarket stream");
+  TLP_CHECK_MSG(line.rfind("%%MatrixMarket", 0) == 0,
+                "missing MatrixMarket banner");
+  const bool symmetric = line.find("symmetric") != std::string::npos;
+  // Skip remaining comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hs(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  TLP_CHECK_MSG(static_cast<bool>(hs >> rows >> cols >> nnz),
+                "malformed MatrixMarket size line");
+  TLP_CHECK_MSG(rows == cols, "adjacency matrix must be square");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
+  for (long long i = 0; i < nnz; ++i) {
+    TLP_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                  "truncated MatrixMarket body at entry " << i);
+    std::istringstream ls(line);
+    long long r = 0, c = 0;
+    TLP_CHECK_MSG(static_cast<bool>(ls >> r >> c),
+                  "malformed MatrixMarket entry: '" << line << "'");
+    TLP_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                  "MatrixMarket index out of range");
+    // Row r has an entry in column c: edge c-1 -> r-1 (A[r][c] != 0 means
+    // r aggregates from c in the usual adjacency-times-features reading).
+    edges.push_back({static_cast<VertexId>(c - 1), static_cast<VertexId>(r - 1)});
+    if (symmetric && r != c)
+      edges.push_back({static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1)});
+  }
+  return build_csr(static_cast<VertexId>(rows), std::move(edges),
+                   {.dedup = false});
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_matrix_market(in);
+}
+
+void write_binary_csr(std::ostream& out, const Csr& g) {
+  const std::uint64_t magic = kBinaryMagic;
+  const std::int64_t n = g.num_vertices();
+  const std::int64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(g.indptr().data()),
+            static_cast<std::streamsize>(g.indptr().size_bytes()));
+  out.write(reinterpret_cast<const char*>(g.indices().data()),
+            static_cast<std::streamsize>(g.indices().size_bytes()));
+  TLP_CHECK_MSG(out.good(), "binary CSR write failed");
+}
+
+void write_binary_csr_file(const std::string& path, const Csr& g) {
+  auto out = open_out(path);
+  write_binary_csr(out, g);
+}
+
+Csr read_binary_csr(std::istream& in) {
+  std::uint64_t magic = 0;
+  std::int64_t n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  TLP_CHECK_MSG(in.good() && magic == kBinaryMagic,
+                "not a tlpgnn binary CSR stream");
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  TLP_CHECK_MSG(in.good() && n >= 0 && m >= 0, "corrupt binary CSR header");
+  std::vector<EdgeOffset> indptr(static_cast<std::size_t>(n) + 1);
+  std::vector<VertexId> indices(static_cast<std::size_t>(m));
+  in.read(reinterpret_cast<char*>(indptr.data()),
+          static_cast<std::streamsize>(indptr.size() * sizeof(EdgeOffset)));
+  in.read(reinterpret_cast<char*>(indices.data()),
+          static_cast<std::streamsize>(indices.size() * sizeof(VertexId)));
+  TLP_CHECK_MSG(in.good(), "truncated binary CSR body");
+  return Csr(std::move(indptr), std::move(indices));
+}
+
+Csr read_binary_csr_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_binary_csr(in);
+}
+
+}  // namespace tlp::graph

@@ -1,0 +1,67 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/reorder.hpp"
+
+namespace tlp::graph {
+
+PartitionResult partition_greedy(const Csr& g, int k) {
+  TLP_CHECK(k >= 1);
+  const VertexId n = g.num_vertices();
+  PartitionResult out;
+  out.part.assign(static_cast<std::size_t>(n), -1);
+  out.part_edges.assign(static_cast<std::size_t>(k), 0);
+
+  const Permutation order = degree_desc_order(g);
+  std::vector<EdgeOffset> affinity(static_cast<std::size_t>(k));
+  for (const VertexId v : order) {
+    std::fill(affinity.begin(), affinity.end(), 0);
+    for (const VertexId u : g.neighbors(v)) {
+      const int p = out.part[static_cast<std::size_t>(u)];
+      if (p >= 0) affinity[static_cast<std::size_t>(p)]++;
+    }
+    // Score: locality bonus minus load penalty, in edge units.
+    int best = 0;
+    double best_score = -1e300;
+    const double avg_load =
+        static_cast<double>(g.num_edges()) / static_cast<double>(k);
+    for (int p = 0; p < k; ++p) {
+      const double score =
+          static_cast<double>(affinity[static_cast<std::size_t>(p)]) -
+          static_cast<double>(out.part_edges[static_cast<std::size_t>(p)]) /
+              std::max(1.0, avg_load) * static_cast<double>(g.degree(v));
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    out.part[static_cast<std::size_t>(v)] = best;
+    out.part_edges[static_cast<std::size_t>(best)] += g.degree(v);
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId u : g.neighbors(v)) {
+      if (out.part[static_cast<std::size_t>(u)] !=
+          out.part[static_cast<std::size_t>(v)])
+        out.cut_edges++;
+    }
+  }
+  return out;
+}
+
+double edge_balance(const PartitionResult& r) {
+  if (r.part_edges.empty()) return 1.0;
+  EdgeOffset max_e = 0, total = 0;
+  for (const EdgeOffset e : r.part_edges) {
+    max_e = std::max(max_e, e);
+    total += e;
+  }
+  if (total == 0) return 1.0;
+  const double meanv =
+      static_cast<double>(total) / static_cast<double>(r.part_edges.size());
+  return static_cast<double>(max_e) / meanv;
+}
+
+}  // namespace tlp::graph

@@ -1,0 +1,81 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace tlp::graph {
+
+Permutation identity_order(VertexId n) {
+  Permutation perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  return perm;
+}
+
+Permutation degree_desc_order(const Csr& g) {
+  Permutation perm = identity_order(g.num_vertices());
+  std::stable_sort(perm.begin(), perm.end(), [&](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return perm;
+}
+
+Permutation bfs_order(const Csr& g) {
+  const VertexId n = g.num_vertices();
+  const Csr rev = g.reversed();
+  Permutation order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<VertexId> frontier;
+  for (VertexId root = 0; root < n; ++root) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    seen[static_cast<std::size_t>(root)] = true;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      auto visit = [&](VertexId u) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = true;
+          frontier.push(u);
+        }
+      };
+      for (const VertexId u : g.neighbors(v)) visit(u);
+      for (const VertexId u : rev.neighbors(v)) visit(u);
+    }
+  }
+  return order;
+}
+
+Csr apply_permutation(const Csr& g, const Permutation& perm) {
+  const VertexId n = g.num_vertices();
+  TLP_CHECK(is_permutation(perm, n));
+  // inverse[old_id] == new_id
+  std::vector<VertexId> inverse(static_cast<std::size_t>(n));
+  for (VertexId newid = 0; newid < n; ++newid)
+    inverse[static_cast<std::size_t>(perm[static_cast<std::size_t>(newid)])] = newid;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId nv = inverse[static_cast<std::size_t>(v)];
+    for (const VertexId u : g.neighbors(v))
+      edges.push_back({inverse[static_cast<std::size_t>(u)], nv});
+  }
+  return build_csr(n, std::move(edges), {.dedup = false});
+}
+
+bool is_permutation(const Permutation& perm, VertexId n) {
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const VertexId v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+}  // namespace tlp::graph

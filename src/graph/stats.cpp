@@ -1,0 +1,43 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace tlp::graph {
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats out;
+  const VertexId n = g.num_vertices();
+  if (n == 0) return out;
+  std::vector<double> degs(static_cast<std::size_t>(n));
+  out.min = g.degree(0);
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeOffset d = g.degree(v);
+    degs[static_cast<std::size_t>(v)] = static_cast<double>(d);
+    out.min = std::min(out.min, d);
+    out.max = std::max(out.max, d);
+  }
+  out.avg = mean(degs);
+  out.cv = coeff_variation(degs);
+  out.median = percentile(degs, 0.5);
+  out.p99 = percentile(degs, 0.99);
+  out.gini = gini(std::move(degs));
+  return out;
+}
+
+std::vector<std::int64_t> degree_histogram(const Csr& g) {
+  std::vector<std::int64_t> hist;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto d = static_cast<std::uint64_t>(g.degree(v));
+    const int bucket = d <= 1 ? 0 : 64 - std::countl_zero(d) - 1;
+    if (static_cast<std::size_t>(bucket) >= hist.size())
+      hist.resize(static_cast<std::size_t>(bucket) + 1, 0);
+    hist[static_cast<std::size_t>(bucket)]++;
+  }
+  return hist;
+}
+
+}  // namespace tlp::graph

@@ -1,0 +1,28 @@
+// Degree-distribution analysis: drives the hybrid workload heuristic and the
+// dataset-replica calibration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace tlp::graph {
+
+struct DegreeStats {
+  EdgeOffset min = 0;
+  EdgeOffset max = 0;
+  double avg = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  double cv = 0.0;    ///< coefficient of variation — workload imbalance proxy
+  double gini = 0.0;  ///< degree-skew measure in [0,1)
+};
+
+DegreeStats degree_stats(const Csr& g);
+
+/// Histogram of log2(degree) buckets: h[i] counts vertices whose degree is in
+/// [2^i, 2^(i+1)); h[0] also includes degree-0 and degree-1 vertices.
+std::vector<std::int64_t> degree_histogram(const Csr& g);
+
+}  // namespace tlp::graph

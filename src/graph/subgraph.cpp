@@ -1,0 +1,75 @@
+#include "graph/subgraph.hpp"
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace tlp::graph {
+
+LocalGraph extract_partition(const Csr& g, std::span<const int> part, int p) {
+  TLP_CHECK(part.size() == static_cast<std::size_t>(g.num_vertices()));
+  LocalGraph out;
+  std::vector<VertexId> to_local(static_cast<std::size_t>(g.num_vertices()), -1);
+
+  // Owned vertices first, preserving global order.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (part[static_cast<std::size_t>(v)] == p) {
+      to_local[static_cast<std::size_t>(v)] =
+          static_cast<VertexId>(out.to_global.size());
+      out.to_global.push_back(v);
+    }
+  }
+  out.num_owned = static_cast<VertexId>(out.to_global.size());
+
+  // Halo: sources of owned vertices' in-edges that live elsewhere.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (part[static_cast<std::size_t>(v)] != p) continue;
+    for (const VertexId u : g.neighbors(v)) {
+      if (to_local[static_cast<std::size_t>(u)] < 0) {
+        to_local[static_cast<std::size_t>(u)] =
+            static_cast<VertexId>(out.to_global.size());
+        out.to_global.push_back(u);
+      }
+    }
+  }
+
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (part[static_cast<std::size_t>(v)] != p) continue;
+    const VertexId lv = to_local[static_cast<std::size_t>(v)];
+    for (const VertexId u : g.neighbors(v)) {
+      edges.push_back({to_local[static_cast<std::size_t>(u)], lv});
+    }
+  }
+  out.csr = build_csr(static_cast<VertexId>(out.to_global.size()),
+                      std::move(edges), {.dedup = false});
+  return out;
+}
+
+LocalGraph induced_subgraph(const Csr& g, const std::vector<bool>& keep) {
+  TLP_CHECK(keep.size() == static_cast<std::size_t>(g.num_vertices()));
+  LocalGraph out;
+  std::vector<VertexId> to_local(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (keep[static_cast<std::size_t>(v)]) {
+      to_local[static_cast<std::size_t>(v)] =
+          static_cast<VertexId>(out.to_global.size());
+      out.to_global.push_back(v);
+    }
+  }
+  out.num_owned = static_cast<VertexId>(out.to_global.size());
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!keep[static_cast<std::size_t>(v)]) continue;
+    for (const VertexId u : g.neighbors(v)) {
+      if (keep[static_cast<std::size_t>(u)]) {
+        edges.push_back({to_local[static_cast<std::size_t>(u)],
+                         to_local[static_cast<std::size_t>(v)]});
+      }
+    }
+  }
+  out.csr = build_csr(static_cast<VertexId>(out.to_global.size()),
+                      std::move(edges), {.dedup = false});
+  return out;
+}
+
+}  // namespace tlp::graph

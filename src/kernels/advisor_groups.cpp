@@ -1,0 +1,89 @@
+#include "kernels/advisor_groups.hpp"
+
+#include <array>
+
+namespace tlp::kernels {
+
+using models::ModelKind;
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+NeighborGroups build_neighbor_groups(const graph::Csr& g, int group_size) {
+  TLP_CHECK(group_size >= 1);
+  NeighborGroups out;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::int64_t start = g.indptr()[static_cast<std::size_t>(v)];
+    const std::int64_t end = g.indptr()[static_cast<std::size_t>(v) + 1];
+    for (std::int64_t s = start; s < end; s += group_size) {
+      out.vertex.push_back(v);
+      out.start.push_back(s);
+      out.len.push_back(static_cast<std::int32_t>(
+          std::min<std::int64_t>(group_size, end - s)));
+    }
+  }
+  return out;
+}
+
+DeviceGroups upload_groups(sim::Device& dev, const NeighborGroups& groups) {
+  DeviceGroups dg;
+  dg.count = groups.count();
+  dg.vertex = dev.upload<std::int32_t>(groups.vertex);
+  dg.start = dev.upload<std::int64_t>(groups.start);
+  dg.len = dev.upload<std::int32_t>(groups.len);
+  return dg;
+}
+
+AdvisorGroupKernel::AdvisorGroupKernel(DeviceGraph g, DeviceGroups groups,
+                                       sim::DevPtr<float> feat,
+                                       sim::DevPtr<float> out, std::int64_t f,
+                                       SimpleConv conv)
+    : g_(g), groups_(groups), feat_(feat), out_(out), f_(f), conv_(conv) {
+  TLP_CHECK(f >= 1 && f <= kMaxFeature);
+  // The paper's GNNAdvisor supports GCN and GIN only; the system layer
+  // mirrors that, and Sage/GAT never reach this kernel.
+  TLP_CHECK(conv.kind == ModelKind::kGcn || conv.kind == ModelKind::kGin);
+}
+
+std::string AdvisorGroupKernel::name() const {
+  return "advisor_groups_" + std::string(models::model_name(conv_.kind));
+}
+
+void AdvisorGroupKernel::run_item(WarpCtx& warp, std::int64_t item) {
+  // Group metadata: three extra scalar loads per group — part of
+  // GNNAdvisor's bookkeeping cost.
+  const std::int32_t v = warp.load_scalar_i32(groups_.vertex, item);
+  const std::int64_t start = warp.load_scalar_i64(groups_.start, item);
+  const std::int32_t len = warp.load_scalar_i32(groups_.len, item);
+  const bool is_gcn = conv_.kind == ModelKind::kGcn;
+  const float norm_v = is_gcn ? warp.load_scalar_f32(g_.norm, v) : 0.0f;
+
+  const int chunks = num_chunks(f_);
+  std::array<WVec<float>, kMaxChunks> acc{};
+  for (std::int64_t e = start; e < start + len; ++e) {
+    const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    float w = 1.0f;
+    if (is_gcn) {
+      w = warp.load_scalar_f32(g_.norm, u) * norm_v;
+      warp.charge_alu(1);
+    }
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      const WVec<float> x = warp.load_f32(feat_, chunk_idx(u, f_, c), m);
+      auto& a = acc[static_cast<std::size_t>(c)];
+      for (int l = 0; l < sim::kWarpSize; ++l)
+        a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      warp.charge_alu(1);
+    }
+    warp.charge_alu(1);
+  }
+
+  // Partial results from the vertex's other groups land in the same row:
+  // atomic merge (the Figure 8 atomic-write traffic).
+  for (int c = 0; c < chunks; ++c) {
+    warp.atomic_add_f32(out_, chunk_idx(v, f_, c),
+                        acc[static_cast<std::size_t>(c)], chunk_mask(f_, c));
+  }
+}
+
+}  // namespace tlp::kernels

@@ -1,0 +1,63 @@
+// GNNAdvisor-style neighbor-group kernel (§3.1): each vertex's neighbor list
+// is pre-partitioned into fixed-size groups, one warp processes one group,
+// and the partial aggregates from different groups of the same vertex are
+// combined with atomic writes — the traffic Figure 8 measures. The group
+// build plus the vertex reordering (graph/reorder.hpp) constitute the
+// "heavy pre-processing" TLPGNN avoids.
+#pragma once
+
+#include <vector>
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+/// Host-side group metadata (the preprocessing product).
+struct NeighborGroups {
+  std::vector<std::int32_t> vertex;  ///< destination vertex of each group
+  std::vector<std::int64_t> start;   ///< first edge offset of the group
+  std::vector<std::int32_t> len;     ///< group length, <= group_size
+
+  [[nodiscard]] std::int64_t count() const {
+    return static_cast<std::int64_t>(vertex.size());
+  }
+};
+
+/// Splits each vertex's neighbor list into groups of at most `group_size`.
+NeighborGroups build_neighbor_groups(const graph::Csr& g, int group_size);
+
+/// Device-resident group metadata.
+struct DeviceGroups {
+  sim::DevPtr<std::int32_t> vertex;
+  sim::DevPtr<std::int64_t> start;
+  sim::DevPtr<std::int32_t> len;
+  std::int64_t count = 0;
+};
+
+DeviceGroups upload_groups(sim::Device& dev, const NeighborGroups& groups);
+
+/// One warp per group: aggregate the group's neighbors in registers, then
+/// atomically merge into the destination row. Output must be pre-zeroed;
+/// GCN/GIN self terms are applied by a separate AddScaledSelfKernel pass.
+class AdvisorGroupKernel final : public sim::WarpKernel {
+ public:
+  AdvisorGroupKernel(DeviceGraph g, DeviceGroups groups,
+                     sim::DevPtr<float> feat, sim::DevPtr<float> out,
+                     std::int64_t f, SimpleConv conv);
+
+  [[nodiscard]] std::int64_t num_items() const override {
+    return groups_.count;
+  }
+  [[nodiscard]] std::string name() const override;
+  void run_item(sim::WarpCtx& warp, std::int64_t item) override;
+
+ private:
+  DeviceGraph g_;
+  DeviceGroups groups_;
+  sim::DevPtr<float> feat_, out_;
+  std::int64_t f_;
+  SimpleConv conv_;
+};
+
+}  // namespace tlp::kernels

@@ -1,0 +1,160 @@
+#include "kernels/apply_edge.hpp"
+
+#include <cmath>
+
+namespace tlp::kernels {
+
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+namespace {
+
+/// Loads the 32 (src, dst) pairs of an edge-parallel item.
+struct EdgeBatch {
+  Mask m = 0;
+  WVec<std::int32_t> src{};
+  WVec<std::int32_t> dst{};
+  std::int64_t base = 0;
+};
+
+EdgeBatch load_batch(WarpCtx& warp, const DeviceCoo& coo, std::int64_t item,
+                     bool need_src, bool need_dst) {
+  EdgeBatch b;
+  b.base = item * sim::kWarpSize;
+  b.m = sim::lanes_below(static_cast<int>(
+      std::min<std::int64_t>(sim::kWarpSize, coo.m - b.base)));
+  WVec<std::int64_t> eidx{};
+  for (int l = 0; l < sim::kWarpSize; ++l)
+    eidx[static_cast<std::size_t>(l)] = b.base + l;
+  if (need_src) b.src = warp.load_i32(coo.src, eidx, b.m);
+  if (need_dst) b.dst = warp.load_i32(coo.dst, eidx, b.m);
+  return b;
+}
+
+WVec<std::int64_t> edge_ids(std::int64_t base) {
+  WVec<std::int64_t> idx{};
+  for (int l = 0; l < sim::kWarpSize; ++l)
+    idx[static_cast<std::size_t>(l)] = base + l;
+  return idx;
+}
+
+WVec<std::int64_t> widen(const WVec<std::int32_t>& v) {
+  WVec<std::int64_t> out{};
+  for (int l = 0; l < sim::kWarpSize; ++l)
+    out[static_cast<std::size_t>(l)] = v[static_cast<std::size_t>(l)];
+  return out;
+}
+
+}  // namespace
+
+void EdgeLogitKernel::run_item(WarpCtx& warp, std::int64_t item) {
+  const EdgeBatch b = load_batch(warp, coo_, item, true, true);
+  const WVec<float> s = warp.load_f32(sh_, widen(b.src), b.m);
+  const WVec<float> d = warp.load_f32(dh_, widen(b.dst), b.m);
+  WVec<float> logit{};
+  for (int l = 0; l < sim::kWarpSize; ++l) {
+    const float x =
+        s[static_cast<std::size_t>(l)] + d[static_cast<std::size_t>(l)];
+    logit[static_cast<std::size_t>(l)] = x >= 0.0f ? x : slope_ * x;
+  }
+  warp.charge_alu(3);  // add, compare, select
+  warp.store_f32(logit_, edge_ids(b.base), logit, b.m);
+}
+
+std::string EdgeMapKernel::name() const {
+  switch (mode_) {
+    case Mode::kSubDst:
+      return "edge_sub_dst";
+    case Mode::kExp:
+      return "edge_exp";
+    case Mode::kDivDst:
+      return "edge_div_dst";
+    case Mode::kCopy:
+      return "edge_copy";
+    case Mode::kAtomicMaxDst:
+      return "edge_atomic_max_dst";
+    case Mode::kAtomicAddDst:
+      return "edge_atomic_add_dst";
+  }
+  return "edge_map";
+}
+
+void EdgeMapKernel::run_item(WarpCtx& warp, std::int64_t item) {
+  const bool need_dst = mode_ != Mode::kExp && mode_ != Mode::kCopy;
+  const EdgeBatch b = load_batch(warp, coo_, item, false, need_dst);
+  WVec<float> a = warp.load_f32(a_, edge_ids(b.base), b.m);
+  switch (mode_) {
+    case Mode::kSubDst: {
+      const WVec<float> bv = warp.load_f32(b_, widen(b.dst), b.m);
+      for (int l = 0; l < sim::kWarpSize; ++l)
+        a[static_cast<std::size_t>(l)] -= bv[static_cast<std::size_t>(l)];
+      warp.charge_alu(1);
+      warp.store_f32(a_, edge_ids(b.base), a, b.m);
+      break;
+    }
+    case Mode::kExp: {
+      for (int l = 0; l < sim::kWarpSize; ++l) {
+        if (sim::lane_active(b.m, l))
+          a[static_cast<std::size_t>(l)] =
+              std::exp(a[static_cast<std::size_t>(l)]);
+      }
+      warp.charge_alu(4);  // exp is a multi-instruction SFU sequence
+      warp.store_f32(a_, edge_ids(b.base), a, b.m);
+      break;
+    }
+    case Mode::kDivDst: {
+      const WVec<float> bv = warp.load_f32(b_, widen(b.dst), b.m);
+      for (int l = 0; l < sim::kWarpSize; ++l) {
+        if (sim::lane_active(b.m, l))
+          a[static_cast<std::size_t>(l)] /= bv[static_cast<std::size_t>(l)];
+      }
+      warp.charge_alu(2);
+      warp.store_f32(a_, edge_ids(b.base), a, b.m);
+      break;
+    }
+    case Mode::kCopy:
+      warp.store_f32(out_, edge_ids(b.base), a, b.m);
+      break;
+    case Mode::kAtomicMaxDst:
+      warp.atomic_max_f32(b_, widen(b.dst), a, b.m);
+      break;
+    case Mode::kAtomicAddDst:
+      warp.atomic_add_f32(b_, widen(b.dst), a, b.m);
+      break;
+  }
+}
+
+void EdgeWeightedAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
+  const EdgeBatch b = load_batch(warp, coo_, item, true, true);
+  const WVec<float> w = warp.load_f32(w_, edge_ids(b.base), b.m);
+  for (std::int64_t dim = 0; dim < f_; ++dim) {
+    WVec<std::int64_t> fidx{}, oidx{};
+    for (int l = 0; l < sim::kWarpSize; ++l) {
+      if (!sim::lane_active(b.m, l)) continue;
+      fidx[static_cast<std::size_t>(l)] =
+          static_cast<std::int64_t>(b.src[static_cast<std::size_t>(l)]) * f_ + dim;
+      oidx[static_cast<std::size_t>(l)] =
+          static_cast<std::int64_t>(b.dst[static_cast<std::size_t>(l)]) * f_ + dim;
+    }
+    WVec<float> x = warp.load_f32(feat_, fidx, b.m);
+    for (int l = 0; l < sim::kWarpSize; ++l)
+      x[static_cast<std::size_t>(l)] *= w[static_cast<std::size_t>(l)];
+    warp.charge_alu(1);
+    warp.atomic_add_f32(out_, oidx, x, b.m);
+  }
+}
+
+void UMulEMaterializeKernel::run_item(WarpCtx& warp, std::int64_t e) {
+  const std::int32_t src = warp.load_scalar_i32(coo_.src, e);
+  const float w = w_.is_null() ? 1.0f : warp.load_scalar_f32(w_, e);
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    WVec<float> x = warp.load_f32(feat_, chunk_idx(src, f_, c), m);
+    for (auto& v : x) v *= w;
+    warp.charge_alu(1);
+    warp.store_f32(msg_, chunk_idx(e, f_, c), x, m);
+  }
+}
+
+}  // namespace tlp::kernels

@@ -1,0 +1,98 @@
+// ApplyEdge building blocks (Figure 6): edge-parallel kernels over a COO
+// view. One warp item covers 32 consecutive edges; per-edge scalar arrays
+// (attention logits, softmax weights) are laid out in CSR edge order, so
+// reads/writes of the edge array itself coalesce while vertex-indexed
+// gathers/scatters do not.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+/// logit[e] = LeakyReLU(sh[src(e)] + dh[dst(e)]) — the GAT attention SDDMM.
+class EdgeLogitKernel final : public sim::WarpKernel {
+ public:
+  EdgeLogitKernel(DeviceCoo coo, sim::DevPtr<float> sh, sim::DevPtr<float> dh,
+                  sim::DevPtr<float> logit, float slope)
+      : coo_(coo), sh_(sh), dh_(dh), logit_(logit), slope_(slope) {}
+  [[nodiscard]] std::int64_t num_items() const override {
+    return (coo_.m + sim::kWarpSize - 1) / sim::kWarpSize;
+  }
+  [[nodiscard]] std::string name() const override { return "edge_logit"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t item) override;
+
+ private:
+  DeviceCoo coo_;
+  sim::DevPtr<float> sh_, dh_, logit_;
+  float slope_;
+};
+
+/// Pointwise/scatter operations over a per-edge scalar array.
+class EdgeMapKernel final : public sim::WarpKernel {
+ public:
+  enum class Mode {
+    kSubDst,        ///< a[e] -= b[dst(e)]
+    kExp,           ///< a[e] = exp(a[e])
+    kDivDst,        ///< a[e] /= b[dst(e)]
+    kCopy,          ///< out[e] = a[e] (format-manipulation kernel)
+    kAtomicMaxDst,  ///< b[dst(e)] = max(b[dst(e)], a[e])   [atomic]
+    kAtomicAddDst,  ///< b[dst(e)] += a[e]                  [atomic]
+  };
+  EdgeMapKernel(DeviceCoo coo, Mode mode, sim::DevPtr<float> a,
+                sim::DevPtr<float> b, sim::DevPtr<float> out = {})
+      : coo_(coo), mode_(mode), a_(a), b_(b), out_(out) {}
+  [[nodiscard]] std::int64_t num_items() const override {
+    return (coo_.m + sim::kWarpSize - 1) / sim::kWarpSize;
+  }
+  [[nodiscard]] std::string name() const override;
+  void run_item(sim::WarpCtx& warp, std::int64_t item) override;
+
+ private:
+  DeviceCoo coo_;
+  Mode mode_;
+  sim::DevPtr<float> a_, b_, out_;
+};
+
+/// out[dst(e)] += w[e] * feat[src(e)] — edge-centric weighted aggregation
+/// (one thread per edge, atomic scatter) used by the edge-centric GAT
+/// baseline's final stage.
+class EdgeWeightedAggKernel final : public sim::WarpKernel {
+ public:
+  EdgeWeightedAggKernel(DeviceCoo coo, sim::DevPtr<float> w,
+                        sim::DevPtr<float> feat, sim::DevPtr<float> out,
+                        std::int64_t f)
+      : coo_(coo), w_(w), feat_(feat), out_(out), f_(f) {}
+  [[nodiscard]] std::int64_t num_items() const override {
+    return (coo_.m + sim::kWarpSize - 1) / sim::kWarpSize;
+  }
+  [[nodiscard]] std::string name() const override { return "edge_weighted_agg"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t item) override;
+
+ private:
+  DeviceCoo coo_;
+  sim::DevPtr<float> w_, feat_, out_;
+  std::int64_t f_;
+};
+
+/// msg[e][*] = w[e] * feat[src(e)][*] — DGL's u_mul_e message
+/// materialization (the E x F intermediate behind Table 3's 10 GB).
+/// One warp per edge, feature-parallel. A null `w` means unit weights
+/// (DGL's copy_u materialization).
+class UMulEMaterializeKernel final : public sim::WarpKernel {
+ public:
+  UMulEMaterializeKernel(DeviceCoo coo, sim::DevPtr<float> w,
+                         sim::DevPtr<float> feat, sim::DevPtr<float> msg,
+                         std::int64_t f)
+      : coo_(coo), w_(w), feat_(feat), msg_(msg), f_(f) {}
+  [[nodiscard]] std::int64_t num_items() const override { return coo_.m; }
+  [[nodiscard]] std::string name() const override { return "u_mul_e"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t e) override;
+
+ private:
+  DeviceCoo coo_;
+  sim::DevPtr<float> w_, feat_, msg_;
+  std::int64_t f_;
+};
+
+}  // namespace tlp::kernels

@@ -1,0 +1,139 @@
+#include "kernels/apply_vertex.hpp"
+
+#include <limits>
+
+namespace tlp::kernels {
+
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+void FillRowsKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  WVec<float> val{};
+  for (auto& x : val) x = value_;
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    warp.store_f32(out_, chunk_idx(v, f_, c), val, chunk_mask(f_, c));
+  }
+}
+
+void CopyRowsKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    const WVec<float> x = warp.load_f32(in_, chunk_idx(v, f_, c), m);
+    warp.store_f32(out_, chunk_idx(v, f_, c), x, m);
+  }
+}
+
+void RowScaleKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  float s = constant_;
+  switch (mode_) {
+    case Mode::kByVec:
+      s = warp.load_scalar_f32(vec_, v);
+      break;
+    case Mode::kByInvDegree: {
+      const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+      const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+      const std::int64_t deg = end - start;
+      s = deg > 0 ? 1.0f / static_cast<float>(deg) : 1.0f;
+      warp.charge_alu(2);
+      break;
+    }
+    case Mode::kByConst:
+      break;
+  }
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    WVec<float> x = warp.load_f32(in_, chunk_idx(v, f_, c), m);
+    for (auto& e : x) e *= s;
+    warp.charge_alu(1);
+    warp.store_f32(out_, chunk_idx(v, f_, c), x, m);
+  }
+}
+
+void AddScaledSelfKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  float s = constant_;
+  if (mode_ == Mode::kNormSquared) {
+    const float n = warp.load_scalar_f32(g_.norm, v);
+    s = n * n;
+    warp.charge_alu(1);
+  }
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    const WVec<float> x = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+    WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+    for (int l = 0; l < sim::kWarpSize; ++l)
+      cur[static_cast<std::size_t>(l)] += s * x[static_cast<std::size_t>(l)];
+    warp.charge_alu(1);
+    warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+  }
+}
+
+void ScaleRowsByVecKernel::run_item(WarpCtx& warp, std::int64_t r) {
+  const float s = warp.load_scalar_f32(vec_, r);
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    WVec<float> x = warp.load_f32(in_, chunk_idx(r, f_, c), m);
+    for (auto& e : x) e *= s;
+    warp.charge_alu(1);
+    warp.store_f32(out_, chunk_idx(r, f_, c), x, m);
+  }
+}
+
+void VertexDotKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  float dot = 0.0f;
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    const WVec<float> x = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+    const WVec<float> w = warp.load_f32(weight_, chunk_idx(0, f_, c), m);
+    WVec<float> prod{};
+    for (int l = 0; l < sim::kWarpSize; ++l)
+      prod[static_cast<std::size_t>(l)] =
+          x[static_cast<std::size_t>(l)] * w[static_cast<std::size_t>(l)];
+    warp.charge_alu(1);
+    dot += warp.reduce_sum(prod, m);
+  }
+  warp.store_scalar_f32(out_, v, dot);
+}
+
+void GatHalvesKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  float s = 0.0f, d = 0.0f;
+  for (int c = 0; c < num_chunks(f_); ++c) {
+    const Mask m = chunk_mask(f_, c);
+    const WVec<float> x = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+    const WVec<float> ws = warp.load_f32(a_src_, chunk_idx(0, f_, c), m);
+    const WVec<float> wd = warp.load_f32(a_dst_, chunk_idx(0, f_, c), m);
+    WVec<float> ps{}, pd{};
+    for (int l = 0; l < sim::kWarpSize; ++l) {
+      ps[static_cast<std::size_t>(l)] =
+          x[static_cast<std::size_t>(l)] * ws[static_cast<std::size_t>(l)];
+      pd[static_cast<std::size_t>(l)] =
+          x[static_cast<std::size_t>(l)] * wd[static_cast<std::size_t>(l)];
+    }
+    warp.charge_alu(2);
+    s += warp.reduce_sum(ps, m);
+    d += warp.reduce_sum(pd, m);
+  }
+  warp.store_scalar_f32(sh_, v, s);
+  warp.store_scalar_f32(dh_, v, d);
+}
+
+void SegmentReduceKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  float acc = op_ == Op::kMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+  // The edge-value segment is contiguous: 32 coalesced lanes per request.
+  for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+    const int n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e));
+    const Mask m = sim::lanes_below(n);
+    WVec<std::int64_t> idx{};
+    for (int l = 0; l < n; ++l) idx[static_cast<std::size_t>(l)] = e + l;
+    const WVec<float> x = warp.load_f32(edge_vals_, idx, m);
+    const float part = op_ == Op::kMax ? warp.reduce_max(x, m)
+                                       : warp.reduce_sum(x, m);
+    acc = op_ == Op::kMax ? std::max(acc, part) : acc + part;
+    warp.charge_alu(1);
+  }
+  warp.store_scalar_f32(out_, v, acc);
+}
+
+}  // namespace tlp::kernels

@@ -1,0 +1,171 @@
+// ApplyVertex building blocks (Figure 6): vertex-parallel kernels used to
+// compose the multi-kernel baseline pipelines (DGL-like, FeatGraph-like) and
+// the epilogue passes of edge-centric aggregation. All use TLPGNN-style
+// warp-per-vertex, feature-per-lane mapping internally.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+/// out[v][*] = value for all vertices (intermediate buffer initialization).
+class FillRowsKernel final : public sim::WarpKernel {
+ public:
+  FillRowsKernel(sim::DevPtr<float> out, std::int64_t rows, std::int64_t f,
+                 float value)
+      : out_(out), rows_(rows), f_(f), value_(value) {}
+  [[nodiscard]] std::int64_t num_items() const override { return rows_; }
+  [[nodiscard]] std::string name() const override { return "fill_rows"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  sim::DevPtr<float> out_;
+  std::int64_t rows_;
+  std::int64_t f_;
+  float value_;
+};
+
+/// out[v][*] = in[v][*] (the data-format manipulation kernels frameworks
+/// insert around library calls).
+class CopyRowsKernel final : public sim::WarpKernel {
+ public:
+  CopyRowsKernel(sim::DevPtr<float> in, sim::DevPtr<float> out,
+                 std::int64_t rows, std::int64_t f)
+      : in_(in), out_(out), rows_(rows), f_(f) {}
+  [[nodiscard]] std::int64_t num_items() const override { return rows_; }
+  [[nodiscard]] std::string name() const override { return "copy_rows"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  sim::DevPtr<float> in_, out_;
+  std::int64_t rows_;
+  std::int64_t f_;
+};
+
+/// Row scaling: out[v] = in[v] * s(v).
+class RowScaleKernel final : public sim::WarpKernel {
+ public:
+  enum class Mode {
+    kByVec,       ///< s(v) = vec[v] (e.g. GCN norm)
+    kByInvDegree, ///< s(v) = 1/deg(v) (Sage mean finalization; 0-degree -> 1)
+    kByConst,     ///< s(v) = constant
+  };
+  RowScaleKernel(sim::DevPtr<float> in, sim::DevPtr<float> out, std::int64_t f,
+                 Mode mode, DeviceGraph g, sim::DevPtr<float> vec,
+                 float constant = 1.0f)
+      : in_(in), out_(out), f_(f), mode_(mode), g_(g), vec_(vec),
+        constant_(constant) {}
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override { return "row_scale"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  sim::DevPtr<float> in_, out_;
+  std::int64_t f_;
+  Mode mode_;
+  DeviceGraph g_;
+  sim::DevPtr<float> vec_;
+  float constant_;
+};
+
+/// Self-term accumulation: out[v] += s(v) * feat[v].
+class AddScaledSelfKernel final : public sim::WarpKernel {
+ public:
+  enum class Mode {
+    kNormSquared,  ///< s(v) = norm[v]^2 (GCN self loop)
+    kConst,        ///< s(v) = constant  (GIN's 1+eps)
+  };
+  AddScaledSelfKernel(sim::DevPtr<float> feat, sim::DevPtr<float> out,
+                      std::int64_t f, Mode mode, DeviceGraph g,
+                      float constant = 1.0f)
+      : feat_(feat), out_(out), f_(f), mode_(mode), g_(g), constant_(constant) {}
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override { return "add_scaled_self"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  sim::DevPtr<float> feat_, out_;
+  std::int64_t f_;
+  Mode mode_;
+  DeviceGraph g_;
+  float constant_;
+};
+
+/// out[r][*] = in[r][*] * vec[r] for generic row counts (edge-message rows
+/// included) — DGL's e_mul broadcast over a materialized message tensor.
+class ScaleRowsByVecKernel final : public sim::WarpKernel {
+ public:
+  ScaleRowsByVecKernel(sim::DevPtr<float> in, sim::DevPtr<float> out,
+                       sim::DevPtr<float> vec, std::int64_t rows,
+                       std::int64_t f)
+      : in_(in), out_(out), vec_(vec), rows_(rows), f_(f) {}
+  [[nodiscard]] std::int64_t num_items() const override { return rows_; }
+  [[nodiscard]] std::string name() const override { return "scale_rows_vec"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t r) override;
+
+ private:
+  sim::DevPtr<float> in_, out_, vec_;
+  std::int64_t rows_;
+  std::int64_t f_;
+};
+
+/// s[v] = Σ_f feat[v][f] * w[f] — the per-vertex halves of GAT attention.
+class VertexDotKernel final : public sim::WarpKernel {
+ public:
+  VertexDotKernel(sim::DevPtr<float> feat, sim::DevPtr<float> weight,
+                  sim::DevPtr<float> out_scalar, std::int64_t rows,
+                  std::int64_t f)
+      : feat_(feat), weight_(weight), out_(out_scalar), rows_(rows), f_(f) {}
+  [[nodiscard]] std::int64_t num_items() const override { return rows_; }
+  [[nodiscard]] std::string name() const override { return "vertex_dot"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  sim::DevPtr<float> feat_, weight_, out_;
+  std::int64_t rows_;
+  std::int64_t f_;
+};
+
+/// Both GAT halves in one pass (TLPGNN/FeatGraph fuse the two dots):
+/// sh[v] = a_src·h[v], dh[v] = a_dst·h[v].
+class GatHalvesKernel final : public sim::WarpKernel {
+ public:
+  GatHalvesKernel(sim::DevPtr<float> feat, sim::DevPtr<float> a_src,
+                  sim::DevPtr<float> a_dst, sim::DevPtr<float> sh,
+                  sim::DevPtr<float> dh, std::int64_t rows, std::int64_t f)
+      : feat_(feat), a_src_(a_src), a_dst_(a_dst), sh_(sh), dh_(dh),
+        rows_(rows), f_(f) {}
+  [[nodiscard]] std::int64_t num_items() const override { return rows_; }
+  [[nodiscard]] std::string name() const override { return "gat_halves"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  sim::DevPtr<float> feat_, a_src_, a_dst_, sh_, dh_;
+  std::int64_t rows_;
+  std::int64_t f_;
+};
+
+/// Atomic-free segmented reduction over each vertex's edge scalars:
+/// out[v] = reduce(a[indptr[v] .. indptr[v+1])). DGL's edge softmax uses
+/// this instead of atomics (the edge array is contiguous per vertex, so the
+/// loads coalesce).
+class SegmentReduceKernel final : public sim::WarpKernel {
+ public:
+  enum class Op { kMax, kSum };
+  SegmentReduceKernel(DeviceGraph g, sim::DevPtr<float> edge_vals,
+                      sim::DevPtr<float> out_scalar, Op op)
+      : g_(g), edge_vals_(edge_vals), out_(out_scalar), op_(op) {}
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override {
+    return op_ == Op::kMax ? "segment_max" : "segment_sum";
+  }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  DeviceGraph g_;
+  sim::DevPtr<float> edge_vals_, out_;
+  Op op_;
+};
+
+}  // namespace tlp::kernels

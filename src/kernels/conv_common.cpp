@@ -1,0 +1,53 @@
+#include "kernels/conv_common.hpp"
+
+#include "common/check.hpp"
+
+namespace tlp::kernels {
+
+DeviceGraph upload_graph(sim::Device& dev, const graph::Csr& g,
+                         const std::vector<float>* norm_override) {
+  DeviceGraph dg;
+  dg.n = g.num_vertices();
+  dg.m = g.num_edges();
+  dg.indptr = dev.upload<std::int64_t>(g.indptr());
+  dg.indices = dev.upload<std::int32_t>(g.indices());
+  const std::vector<float> norm =
+      norm_override != nullptr ? *norm_override : models::gcn_norm(g);
+  TLP_CHECK(norm.size() == static_cast<std::size_t>(dg.n));
+  dg.norm = dev.upload<float>(norm);
+  return dg;
+}
+
+DeviceCoo upload_coo(sim::Device& dev, const graph::Csr& pull_csr) {
+  std::vector<std::int32_t> src, dst;
+  src.reserve(static_cast<std::size_t>(pull_csr.num_edges()));
+  dst.reserve(static_cast<std::size_t>(pull_csr.num_edges()));
+  for (graph::VertexId v = 0; v < pull_csr.num_vertices(); ++v) {
+    for (const graph::VertexId u : pull_csr.neighbors(v)) {
+      src.push_back(u);
+      dst.push_back(v);
+    }
+  }
+  DeviceCoo coo;
+  coo.m = pull_csr.num_edges();
+  coo.src = dev.upload<std::int32_t>(src);
+  coo.dst = dev.upload<std::int32_t>(dst);
+  return coo;
+}
+
+sim::DevPtr<float> upload_features(sim::Device& dev, const tensor::Tensor& h) {
+  TLP_CHECK_MSG(h.cols() <= kMaxFeature,
+                "feature size " << h.cols() << " exceeds " << kMaxFeature);
+  return dev.upload<float>(h.flat());
+}
+
+tensor::Tensor download_features(sim::Device& dev, sim::DevPtr<float> p,
+                                 std::int64_t rows, std::int64_t cols) {
+  TLP_CHECK(p.count == rows * cols);
+  tensor::Tensor t(rows, cols);
+  const std::vector<float> host = dev.download(p);
+  std::copy(host.begin(), host.end(), t.flat().begin());
+  return t;
+}
+
+}  // namespace tlp::kernels

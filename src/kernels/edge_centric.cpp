@@ -1,0 +1,74 @@
+#include "kernels/edge_centric.hpp"
+
+namespace tlp::kernels {
+
+using models::ModelKind;
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+EdgeCentricAggKernel::EdgeCentricAggKernel(DeviceCoo coo,
+                                           sim::DevPtr<float> norm,
+                                           sim::DevPtr<float> feat,
+                                           sim::DevPtr<float> out,
+                                           std::int64_t feature_size,
+                                           SimpleConv conv)
+    : coo_(coo), norm_(norm), feat_(feat), out_(out), f_(feature_size),
+      conv_(conv) {
+  TLP_CHECK(feature_size >= 1 && feature_size <= kMaxFeature);
+  TLP_CHECK_MSG(conv.kind != ModelKind::kGat,
+                "edge-centric GAT is a multi-kernel pipeline (see systems)");
+}
+
+std::string EdgeCentricAggKernel::name() const {
+  return "edge_centric_" + std::string(models::model_name(conv_.kind));
+}
+
+void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
+  const std::int64_t base = item * sim::kWarpSize;
+  const Mask m = sim::lanes_below(static_cast<int>(
+      std::min<std::int64_t>(sim::kWarpSize, coo_.m - base)));
+
+  // Coalesced loads of the edge endpoints.
+  WVec<std::int64_t> eidx{};
+  for (int l = 0; l < sim::kWarpSize; ++l)
+    eidx[static_cast<std::size_t>(l)] = base + l;
+  const WVec<std::int32_t> src = warp.load_i32(coo_.src, eidx, m);
+  const WVec<std::int32_t> dst = warp.load_i32(coo_.dst, eidx, m);
+
+  WVec<float> w{};
+  for (auto& x : w) x = 1.0f;
+  if (conv_.kind == ModelKind::kGcn) {
+    WVec<std::int64_t> sidx{}, didx{};
+    for (int l = 0; l < sim::kWarpSize; ++l) {
+      sidx[static_cast<std::size_t>(l)] = src[static_cast<std::size_t>(l)];
+      didx[static_cast<std::size_t>(l)] = dst[static_cast<std::size_t>(l)];
+    }
+    const WVec<float> ns = warp.load_f32(norm_, sidx, m);
+    const WVec<float> nd = warp.load_f32(norm_, didx, m);
+    for (int l = 0; l < sim::kWarpSize; ++l)
+      w[static_cast<std::size_t>(l)] = ns[static_cast<std::size_t>(l)] *
+                                       nd[static_cast<std::size_t>(l)];
+    warp.charge_alu(1);
+  }
+
+  // Lane l walks all feature dimensions of its edge: both the gather and the
+  // atomic scatter hit 32 different rows per request — uncoalesced.
+  for (std::int64_t dim = 0; dim < f_; ++dim) {
+    WVec<std::int64_t> fidx{}, oidx{};
+    for (int l = 0; l < sim::kWarpSize; ++l) {
+      if (!sim::lane_active(m, l)) continue;
+      fidx[static_cast<std::size_t>(l)] =
+          static_cast<std::int64_t>(src[static_cast<std::size_t>(l)]) * f_ + dim;
+      oidx[static_cast<std::size_t>(l)] =
+          static_cast<std::int64_t>(dst[static_cast<std::size_t>(l)]) * f_ + dim;
+    }
+    WVec<float> x = warp.load_f32(feat_, fidx, m);
+    for (int l = 0; l < sim::kWarpSize; ++l)
+      x[static_cast<std::size_t>(l)] *= w[static_cast<std::size_t>(l)];
+    warp.charge_alu(1);
+    warp.atomic_add_f32(out_, oidx, x, m);
+  }
+}
+
+}  // namespace tlp::kernels

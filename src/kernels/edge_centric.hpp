@@ -1,0 +1,38 @@
+// Edge-centric (X-Stream-style) aggregation: one thread per edge, atomic
+// writes to the destination row (§3.1, Table 1 "Edge"). Perfectly balanced
+// across edges but pays Observation I's atomic cost and Observation II's
+// uncoalesced gathers — this is the baseline of the Figure 10 ablation.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+/// Sum/weighted-sum aggregation over a COO edge list. Each warp item covers
+/// 32 consecutive edges; lane l walks every feature dimension of its edge
+/// sequentially and atomically adds into out[dst]. The output must be
+/// pre-zeroed; GCN's self term and Sage's mean need separate vertex passes.
+class EdgeCentricAggKernel final : public sim::WarpKernel {
+ public:
+  EdgeCentricAggKernel(DeviceCoo coo, sim::DevPtr<float> norm,
+                       sim::DevPtr<float> feat, sim::DevPtr<float> out,
+                       std::int64_t feature_size, SimpleConv conv);
+
+  [[nodiscard]] std::int64_t num_items() const override {
+    return (coo_.m + sim::kWarpSize - 1) / sim::kWarpSize;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  void run_item(sim::WarpCtx& warp, std::int64_t item) override;
+
+ private:
+  DeviceCoo coo_;
+  sim::DevPtr<float> norm_;
+  sim::DevPtr<float> feat_;
+  sim::DevPtr<float> out_;
+  std::int64_t f_;
+  SimpleConv conv_;
+};
+
+}  // namespace tlp::kernels

@@ -1,0 +1,175 @@
+#include "kernels/fused_gat.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace tlp::kernels {
+
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  // Register caching (§6): index boundary and the destination half.
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  const std::int64_t deg = end - start;
+
+  if (deg == 0) {
+    for (int c = 0; c < num_chunks(f_); ++c)
+      warp.store_f32(out_, chunk_idx(v, f_, c), WVec<float>{}, chunk_mask(f_, c));
+    return;
+  }
+
+  // The scalar softmax phases use *edge parallelism across the 32 lanes*
+  // (indices and sh gathers batch 32 edges per request — both arrays are
+  // contiguous per vertex); only the aggregation phase switches to feature
+  // parallelism. Logits are recomputed per pass instead of materialized;
+  // the gathers stay hot in L1 after the first pass.
+  struct Batch {
+    WVec<std::int32_t> us;
+    WVec<float> logit;
+    Mask m;
+    int n;
+  };
+
+  const std::int64_t hd = f_ / heads_;
+  for (int head = 0; head < heads_; ++head) {
+    const float dh = warp.load_scalar_f32(dh_, v * heads_ + head);
+
+    auto batch_logits = [&](std::int64_t e0) -> Batch {
+      Batch b;
+      b.n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e0));
+      b.m = sim::lanes_below(b.n);
+      WVec<std::int64_t> eidx{};
+      for (int l = 0; l < b.n; ++l) eidx[static_cast<std::size_t>(l)] = e0 + l;
+      b.us = warp.load_i32(g_.indices, eidx, b.m);
+      WVec<std::int64_t> uidx{};
+      for (int l = 0; l < b.n; ++l)
+        uidx[static_cast<std::size_t>(l)] =
+            static_cast<std::int64_t>(b.us[static_cast<std::size_t>(l)]) *
+                heads_ +
+            head;
+      const WVec<float> s = warp.load_f32(sh_, uidx, b.m);
+      for (int l = 0; l < b.n; ++l) {
+        const float x = s[static_cast<std::size_t>(l)] + dh;
+        b.logit[static_cast<std::size_t>(l)] = x >= 0.0f ? x : slope_ * x;
+      }
+      warp.charge_alu(3);
+      return b;
+    };
+
+    // Pass 1: running max for a numerically stable softmax.
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+      const Batch b = batch_logits(e);
+      mx = std::max(mx, warp.reduce_max(b.logit, b.m));
+    }
+
+    // Pass 2: softmax denominator.
+    float denom = 0.0f;
+    for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+      Batch b = batch_logits(e);
+      for (int l = 0; l < b.n; ++l)
+        b.logit[static_cast<std::size_t>(l)] =
+            std::exp(b.logit[static_cast<std::size_t>(l)] - mx);
+      warp.charge_alu(4);
+      denom += warp.reduce_sum(b.logit, b.m);
+    }
+
+    // Pass 3: weighted aggregation over this head's feature slice,
+    // feature-parallel per edge, with the reduction result cached in
+    // registers; one store per chunk at the end of the head.
+    const std::int64_t lo = head * hd;
+    const std::int64_t hi = lo + hd;
+    const int chunks = num_slice_chunks(lo, hi);
+    std::array<WVec<float>, kMaxChunks> acc{};
+    for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+      const Batch b = batch_logits(e);
+      for (int l = 0; l < b.n; ++l) {
+        const float alpha =
+            std::exp(b.logit[static_cast<std::size_t>(l)] - mx) / denom;
+        warp.charge_alu(5);
+        const auto u =
+            static_cast<std::int64_t>(b.us[static_cast<std::size_t>(l)]);
+        for (int c = 0; c < chunks; ++c) {
+          const Mask m = slice_chunk_mask(lo, hi, c);
+          const WVec<float> x =
+              warp.load_f32(feat_, slice_chunk_idx(u, f_, lo, c), m);
+          auto& a = acc[static_cast<std::size_t>(c)];
+          for (int k = 0; k < sim::kWarpSize; ++k)
+            a[static_cast<std::size_t>(k)] +=
+                alpha * x[static_cast<std::size_t>(k)];
+          warp.charge_alu(1);
+        }
+      }
+    }
+    for (int c = 0; c < chunks; ++c)
+      warp.store_f32(out_, slice_chunk_idx(v, f_, lo, c),
+                     acc[static_cast<std::size_t>(c)],
+                     slice_chunk_mask(lo, hi, c));
+  }
+}
+
+void GatSoftmaxKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  if (end == start) return;
+  const float dh = warp.load_scalar_f32(dh_, v);
+
+  auto batch_logits = [&](std::int64_t e0, Mask m, int n) -> WVec<float> {
+    WVec<std::int64_t> eidx{};
+    for (int l = 0; l < n; ++l) eidx[static_cast<std::size_t>(l)] = e0 + l;
+    const WVec<std::int32_t> us = warp.load_i32(g_.indices, eidx, m);
+    WVec<std::int64_t> uidx{};
+    for (int l = 0; l < n; ++l)
+      uidx[static_cast<std::size_t>(l)] = us[static_cast<std::size_t>(l)];
+    const WVec<float> s = warp.load_f32(sh_, uidx, m);
+    WVec<float> logit{};
+    for (int l = 0; l < n; ++l) {
+      const float x = s[static_cast<std::size_t>(l)] + dh;
+      logit[static_cast<std::size_t>(l)] = x >= 0.0f ? x : slope_ * x;
+    }
+    warp.charge_alu(3);
+    return logit;
+  };
+
+  // Pass 1: max logit over the segment (32 edges per step, coalesced).
+  float mx = -std::numeric_limits<float>::infinity();
+  for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+    const int n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e));
+    const Mask m = sim::lanes_below(n);
+    mx = std::max(mx, warp.reduce_max(batch_logits(e, m, n), m));
+  }
+
+  // Pass 2: exponentials — materialized into alpha[] — and the denominator.
+  float denom = 0.0f;
+  for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+    const int n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e));
+    const Mask m = sim::lanes_below(n);
+    WVec<float> ex = batch_logits(e, m, n);
+    for (int l = 0; l < n; ++l)
+      ex[static_cast<std::size_t>(l)] =
+          std::exp(ex[static_cast<std::size_t>(l)] - mx);
+    warp.charge_alu(4);
+    denom += warp.reduce_sum(ex, m);
+    WVec<std::int64_t> eidx{};
+    for (int l = 0; l < n; ++l) eidx[static_cast<std::size_t>(l)] = e + l;
+    warp.store_f32(alpha_, eidx, ex, m);
+  }
+
+  // Pass 3: normalize the stored alphas (L1-hot read-modify-write).
+  for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
+    const int n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e));
+    const Mask m = sim::lanes_below(n);
+    WVec<std::int64_t> eidx{};
+    for (int l = 0; l < n; ++l) eidx[static_cast<std::size_t>(l)] = e + l;
+    WVec<float> a = warp.load_f32(alpha_, eidx, m);
+    for (int l = 0; l < n; ++l) a[static_cast<std::size_t>(l)] /= denom;
+    warp.charge_alu(2);
+    warp.store_f32(alpha_, eidx, a, m);
+  }
+}
+
+}  // namespace tlp::kernels

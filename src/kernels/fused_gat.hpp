@@ -1,0 +1,60 @@
+// TLPGNN's one-kernel GAT (§6, Table 3 "One-Kernel"): edge softmax and
+// weighted aggregation fused into a single launch over the per-vertex
+// attention halves sh = a_src·h, dh = a_dst·h (dense-phase by-products, see
+// models::gat_halves). No per-edge logit, alpha, or message is ever
+// materialized: logits are recomputed per pass from scalars that stay hot in
+// L1, trading cheap recompute for the DRAM round-trips the multi-kernel
+// pipelines pay.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+class FusedGatKernel final : public sim::WarpKernel {
+ public:
+  /// Multi-head: `sh`/`dh` are head-interleaved (vertex*heads + head) and
+  /// head k aggregates feature slice [k*f/heads, (k+1)*f/heads).
+  FusedGatKernel(DeviceGraph g, sim::DevPtr<float> feat,
+                 sim::DevPtr<float> sh, sim::DevPtr<float> dh,
+                 sim::DevPtr<float> out, std::int64_t f, float slope,
+                 int heads = 1)
+      : g_(g), feat_(feat), sh_(sh), dh_(dh), out_(out), f_(f), slope_(slope),
+        heads_(heads) {
+    TLP_CHECK(f >= 1 && f <= kMaxFeature);
+    TLP_CHECK_MSG(heads >= 1 && f % heads == 0, "heads must divide F");
+  }
+
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override { return "fused_gat"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  DeviceGraph g_;
+  sim::DevPtr<float> feat_, sh_, dh_, out_;
+  std::int64_t f_;
+  float slope_;
+  int heads_;
+};
+
+/// Stage 1 of the three-kernel GAT pipelines (FeatGraph-like, and TLPGNN's
+/// "-Fusion" ablation): per-vertex edge softmax over the attention halves,
+/// materializing normalized alpha[e] for every edge.
+class GatSoftmaxKernel final : public sim::WarpKernel {
+ public:
+  GatSoftmaxKernel(DeviceGraph g, sim::DevPtr<float> sh, sim::DevPtr<float> dh,
+                   sim::DevPtr<float> alpha, float slope)
+      : g_(g), sh_(sh), dh_(dh), alpha_(alpha), slope_(slope) {}
+
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override { return "gat_softmax"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  DeviceGraph g_;
+  sim::DevPtr<float> sh_, dh_, alpha_;
+  float slope_;
+};
+
+}  // namespace tlp::kernels

@@ -1,0 +1,179 @@
+#include "kernels/gather_pull.hpp"
+
+#include <array>
+
+namespace tlp::kernels {
+
+using models::ModelKind;
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+std::string GatherPullKernel::name() const {
+  std::string n = "gather_pull_";
+  n += models::model_name(conv_.kind);
+  if (!register_cache_) n += "_nocache";
+  return n;
+}
+
+void GatherPullKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  if (register_cache_) {
+    run_cached(warp, v);
+  } else {
+    run_uncached(warp, v);
+  }
+}
+
+void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
+  // Index boundary cached in registers (Figure 7a): two loads total.
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  const int chunks = num_chunks(f_);
+  std::array<WVec<float>, kMaxChunks> acc{};  // registers
+
+  const bool is_gcn = conv_.kind == ModelKind::kGcn;
+  const float norm_v = is_gcn ? warp.load_scalar_f32(g_.norm, v) : 0.0f;
+
+  for (std::int64_t e = start; e < end; ++e) {
+    const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    float w = 1.0f;
+    if (is_gcn) {
+      w = warp.load_scalar_f32(g_.norm, u) * norm_v;
+      warp.charge_alu(1);
+    }
+    if (!edge_w_.is_null()) {
+      w *= warp.load_scalar_f32(edge_w_, e);
+      warp.charge_alu(1);
+    }
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      const WVec<float> x = warp.load_f32(feat_, chunk_idx(u, f_, c), m);
+      auto& a = acc[static_cast<std::size_t>(c)];
+      for (int l = 0; l < sim::kWarpSize; ++l)
+        a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      warp.charge_alu(1);  // fused multiply-add
+    }
+    warp.charge_alu(1);  // loop bookkeeping / branch
+  }
+
+  // Epilogue: self term (GCN/GIN), mean division (Sage), then one store per
+  // chunk — the register-cached reduction writes global memory exactly once.
+  const std::int64_t deg = end - start;
+  for (int c = 0; c < chunks; ++c) {
+    const Mask m = chunk_mask(f_, c);
+    auto& a = acc[static_cast<std::size_t>(c)];
+    switch (conv_.kind) {
+      case ModelKind::kGcn: {
+        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        for (int l = 0; l < sim::kWarpSize; ++l)
+          a[static_cast<std::size_t>(l)] +=
+              norm_v * norm_v * self[static_cast<std::size_t>(l)];
+        warp.charge_alu(2);
+        break;
+      }
+      case ModelKind::kGin: {
+        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        for (int l = 0; l < sim::kWarpSize; ++l)
+          a[static_cast<std::size_t>(l)] +=
+              (1.0f + conv_.gin_eps) * self[static_cast<std::size_t>(l)];
+        warp.charge_alu(2);
+        break;
+      }
+      case ModelKind::kSage: {
+        if (deg > 0) {
+          const float inv = 1.0f / static_cast<float>(deg);
+          for (auto& x : a) x *= inv;
+        }
+        warp.charge_alu(1);
+        break;
+      }
+      case ModelKind::kGat:
+        TLP_CHECK_MSG(false, "GAT uses FusedGatKernel");
+    }
+    warp.store_f32(out_, chunk_idx(v, f_, c), a, m);
+  }
+}
+
+void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
+  // Figure 7(b): no register caching. The loop bound is re-read from
+  // indptr every iteration and the partial reduction lives in the output
+  // array in global memory (read-modify-write per edge).
+  const int chunks = num_chunks(f_);
+  const bool is_gcn = conv_.kind == ModelKind::kGcn;
+
+  // Zero the accumulator rows in global memory first.
+  for (int c = 0; c < chunks; ++c) {
+    const Mask m = chunk_mask(f_, c);
+    warp.store_f32(out_, chunk_idx(v, f_, c), WVec<float>{}, m);
+  }
+
+  std::int64_t e = warp.load_scalar_i64(g_.indptr, v);
+  while (true) {
+    // `i < indptr[v+1]` check: re-loads the boundary every iteration.
+    const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+    if (e >= end) break;
+    const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    float w = 1.0f;
+    if (is_gcn) {
+      const float norm_v = warp.load_scalar_f32(g_.norm, v);
+      w = warp.load_scalar_f32(g_.norm, u) * norm_v;
+      warp.charge_alu(1);
+    }
+    if (!edge_w_.is_null()) {
+      w *= warp.load_scalar_f32(edge_w_, e);
+      warp.charge_alu(1);
+    }
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      const WVec<float> x = warp.load_f32(feat_, chunk_idx(u, f_, c), m);
+      WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+      for (int l = 0; l < sim::kWarpSize; ++l)
+        cur[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      warp.charge_alu(1);
+      warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+    }
+    warp.charge_alu(1);
+    ++e;
+  }
+
+  // Epilogue through global memory as well.
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  const std::int64_t deg = end - start;
+  for (int c = 0; c < chunks; ++c) {
+    const Mask m = chunk_mask(f_, c);
+    WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+    switch (conv_.kind) {
+      case ModelKind::kGcn: {
+        const float norm_v = warp.load_scalar_f32(g_.norm, v);
+        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        for (int l = 0; l < sim::kWarpSize; ++l)
+          cur[static_cast<std::size_t>(l)] +=
+              norm_v * norm_v * self[static_cast<std::size_t>(l)];
+        warp.charge_alu(2);
+        break;
+      }
+      case ModelKind::kGin: {
+        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        for (int l = 0; l < sim::kWarpSize; ++l)
+          cur[static_cast<std::size_t>(l)] +=
+              (1.0f + conv_.gin_eps) * self[static_cast<std::size_t>(l)];
+        warp.charge_alu(2);
+        break;
+      }
+      case ModelKind::kSage: {
+        if (deg > 0) {
+          const float inv = 1.0f / static_cast<float>(deg);
+          for (auto& x : cur) x *= inv;
+        }
+        warp.charge_alu(1);
+        break;
+      }
+      case ModelKind::kGat:
+        TLP_CHECK_MSG(false, "GAT uses FusedGatKernel");
+    }
+    warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+  }
+}
+
+}  // namespace tlp::kernels

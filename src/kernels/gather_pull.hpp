@@ -1,0 +1,50 @@
+// TLPGNN's core kernel: warp-per-vertex (first-level parallelism, §4.2),
+// feature-per-lane (second-level parallelism, §4.3), atomic-free pull
+// aggregation with register caching of the index boundary and the
+// intermediate reduction result (§6, Figure 7).
+//
+// One kernel instance covers GCN, GIN and GraphSage — they differ only in
+// the per-edge weight and the epilogue. `register_cache = false` reproduces
+// the Figure 7(b) variant for the register-caching ablation: index bounds
+// are re-read from global memory every iteration and the accumulator lives
+// in the output array instead of registers.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+class GatherPullKernel final : public sim::WarpKernel {
+ public:
+  /// `edge_w` optionally supplies Eq. 1's per-edge scalar feature (a weight
+  /// multiplied into every message); null = unweighted.
+  GatherPullKernel(DeviceGraph g, sim::DevPtr<float> feat,
+                   sim::DevPtr<float> out, std::int64_t feature_size,
+                   SimpleConv conv, bool register_cache = true,
+                   sim::DevPtr<float> edge_w = {})
+      : g_(g), feat_(feat), out_(out), f_(feature_size), conv_(conv),
+        register_cache_(register_cache), edge_w_(edge_w) {
+    TLP_CHECK(feature_size >= 1 && feature_size <= kMaxFeature);
+    if (!edge_w.is_null()) TLP_CHECK(edge_w.count >= g.m);
+  }
+
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override;
+
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  void run_cached(sim::WarpCtx& warp, std::int64_t v);
+  void run_uncached(sim::WarpCtx& warp, std::int64_t v);
+
+  DeviceGraph g_;
+  sim::DevPtr<float> feat_;
+  sim::DevPtr<float> out_;
+  std::int64_t f_;
+  SimpleConv conv_;
+  bool register_cache_;
+  sim::DevPtr<float> edge_w_;
+};
+
+}  // namespace tlp::kernels

@@ -1,0 +1,74 @@
+#include "kernels/push_atomic.hpp"
+
+#include <array>
+
+namespace tlp::kernels {
+
+using models::ModelKind;
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+PushKernel::PushKernel(DeviceGraph out_graph, sim::DevPtr<float> feat,
+                       sim::DevPtr<float> out, std::int64_t feature_size,
+                       SimpleConv conv)
+    : g_(out_graph), feat_(feat), out_(out), f_(feature_size), conv_(conv) {
+  TLP_CHECK(feature_size >= 1 && feature_size <= kMaxFeature);
+  TLP_CHECK_MSG(conv.kind != ModelKind::kGat,
+                "GAT is not expressible as a simple push");
+}
+
+std::string PushKernel::name() const {
+  return "push_" + std::string(models::model_name(conv_.kind));
+}
+
+void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  const int chunks = num_chunks(f_);
+  const bool is_gcn = conv_.kind == ModelKind::kGcn;
+  const float norm_v = is_gcn ? warp.load_scalar_f32(g_.norm, v) : 0.0f;
+
+  // Own feature cached in registers: loaded once, pushed along every edge.
+  std::array<WVec<float>, kMaxChunks> self{};
+  for (int c = 0; c < chunks; ++c) {
+    self[static_cast<std::size_t>(c)] =
+        warp.load_f32(feat_, chunk_idx(v, f_, c), chunk_mask(f_, c));
+  }
+  // Self-loop contribution: v also owns its own row's self term. Other warps
+  // may be adding to the same row concurrently, so this is atomic too.
+  const float self_scale = is_gcn ? norm_v * norm_v
+                           : conv_.kind == ModelKind::kGin
+                               ? 1.0f + conv_.gin_eps
+                               : 0.0f;
+  if (self_scale != 0.0f) {
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      WVec<float> msg = self[static_cast<std::size_t>(c)];
+      for (auto& x : msg) x *= self_scale;
+      warp.charge_alu(1);
+      warp.atomic_add_f32(out_, chunk_idx(v, f_, c), msg, m);
+    }
+  }
+
+  for (std::int64_t e = start; e < end; ++e) {
+    const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    float w = 1.0f;
+    if (is_gcn) {
+      w = warp.load_scalar_f32(g_.norm, u) * norm_v;
+      warp.charge_alu(1);
+    }
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      WVec<float> msg = self[static_cast<std::size_t>(c)];
+      for (auto& x : msg) x *= w;
+      warp.charge_alu(1);
+      // The destination row is shared with every other in-neighbor of u:
+      // atomic write per edge (the Observation I traffic).
+      warp.atomic_add_f32(out_, chunk_idx(u, f_, c), msg, m);
+    }
+    warp.charge_alu(1);
+  }
+}
+
+}  // namespace tlp::kernels

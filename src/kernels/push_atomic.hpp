@@ -1,0 +1,36 @@
+// Push-updating-policy kernel (§3.1, Table 1 "Push"): each warp walks one
+// vertex's *out-going* edges and atomically adds its (weighted) feature to
+// every out-neighbor's accumulator. Race conditions between warps writing
+// the same destination make the atomics mandatory — the overhead TLPGNN's
+// pull design eliminates.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+class PushKernel final : public sim::WarpKernel {
+ public:
+  /// `out_graph` is the push-direction CSR: row v lists v's out-neighbors.
+  /// The output buffer must be pre-zeroed (see FillRowsKernel) — with the
+  /// push policy no single warp owns a destination row.
+  /// Supports GCN/GIN sums; Sage's mean needs a separate rescale pass.
+  PushKernel(DeviceGraph out_graph, sim::DevPtr<float> feat,
+             sim::DevPtr<float> out, std::int64_t feature_size,
+             SimpleConv conv);
+
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override;
+
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  DeviceGraph g_;  ///< out-direction CSR
+  sim::DevPtr<float> feat_;
+  sim::DevPtr<float> out_;
+  std::int64_t f_;
+  SimpleConv conv_;
+};
+
+}  // namespace tlp::kernels

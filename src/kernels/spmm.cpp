@@ -1,0 +1,121 @@
+#include "kernels/spmm.hpp"
+
+#include <array>
+
+namespace tlp::kernels {
+
+using sim::Mask;
+using sim::WarpCtx;
+using sim::WVec;
+
+float SpmmKernel::edge_weight(WarpCtx& warp, std::int64_t e, std::int64_t row,
+                              float norm_v) {
+  switch (weighting_) {
+    case Weighting::kGcnNormPair: {
+      const float w = warp.load_scalar_f32(g_.norm, row) * norm_v;
+      warp.charge_alu(1);
+      return w;
+    }
+    case Weighting::kEdgeArray:
+      return warp.load_scalar_f32(edge_w_, e);
+    default:
+      return 1.0f;
+  }
+}
+
+void SpmmKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  if (register_cache_) {
+    run_cached(warp, v);
+  } else {
+    run_uncached(warp, v);
+  }
+}
+
+void SpmmKernel::run_cached(WarpCtx& warp, std::int64_t v) {
+  const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+  const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+  const int chunks = num_chunks(f_);
+  std::array<WVec<float>, kMaxChunks> acc{};
+
+  const float norm_v = weighting_ == Weighting::kGcnNormPair
+                           ? warp.load_scalar_f32(g_.norm, v)
+                           : 0.0f;
+
+  for (std::int64_t e = start; e < end; ++e) {
+    std::int64_t row = e;  // kMessages: X is indexed by edge id
+    if (weighting_ != Weighting::kMessages)
+      row = warp.load_scalar_i32(g_.indices, e);
+    const float w = edge_weight(warp, e, row, norm_v);
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      const WVec<float> x = warp.load_f32(x_, chunk_idx(row, f_, c), m);
+      auto& a = acc[static_cast<std::size_t>(c)];
+      for (int l = 0; l < sim::kWarpSize; ++l)
+        a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      warp.charge_alu(1);
+    }
+    warp.charge_alu(1);
+  }
+
+  const std::int64_t deg = end - start;
+  for (int c = 0; c < chunks; ++c) {
+    auto& a = acc[static_cast<std::size_t>(c)];
+    if (weighting_ == Weighting::kMean && deg > 0) {
+      const float inv = 1.0f / static_cast<float>(deg);
+      for (auto& x : a) x *= inv;
+      warp.charge_alu(1);
+    }
+    warp.store_f32(out_, chunk_idx(v, f_, c), a, chunk_mask(f_, c));
+  }
+}
+
+void SpmmKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
+  // No register caching: bounds re-read per iteration, accumulator in global
+  // memory (cf. Figure 7b).
+  const int chunks = num_chunks(f_);
+  for (int c = 0; c < chunks; ++c)
+    warp.store_f32(out_, chunk_idx(v, f_, c), WVec<float>{}, chunk_mask(f_, c));
+
+  const float norm_v = weighting_ == Weighting::kGcnNormPair
+                           ? warp.load_scalar_f32(g_.norm, v)
+                           : 0.0f;
+
+  std::int64_t e = warp.load_scalar_i64(g_.indptr, v);
+  while (true) {
+    const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+    if (e >= end) break;
+    std::int64_t row = e;
+    if (weighting_ != Weighting::kMessages)
+      row = warp.load_scalar_i32(g_.indices, e);
+    const float w = edge_weight(warp, e, row, norm_v);
+    for (int c = 0; c < chunks; ++c) {
+      const Mask m = chunk_mask(f_, c);
+      const WVec<float> x = warp.load_f32(x_, chunk_idx(row, f_, c), m);
+      WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+      for (int l = 0; l < sim::kWarpSize; ++l)
+        cur[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      warp.charge_alu(1);
+      warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+    }
+    warp.charge_alu(1);
+    ++e;
+  }
+
+  if (weighting_ == Weighting::kMean) {
+    const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
+    const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
+    const std::int64_t deg = end - start;
+    if (deg > 0) {
+      const float inv = 1.0f / static_cast<float>(deg);
+      for (int c = 0; c < chunks; ++c) {
+        const Mask m = chunk_mask(f_, c);
+        WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+        for (auto& x : cur) x *= inv;
+        warp.charge_alu(1);
+        warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+      }
+    }
+  }
+}
+
+}  // namespace tlp::kernels

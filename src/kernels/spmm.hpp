@@ -1,0 +1,55 @@
+// CSR SpMM — the cuSPARSE-style workhorse behind the DGL-like and
+// FeatGraph-like pipelines: out[v] = Σ_{e ∈ row v} w(e) · X[col(e)].
+// Vertex-parallel, feature-per-lane, atomic-free (rows are independent),
+// but unlike the fused TLPGNN kernel it reads its weights from materialized
+// edge/vertex arrays and is launched as one stage of a pipeline.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+class SpmmKernel final : public sim::WarpKernel {
+ public:
+  enum class Weighting {
+    kSum,          ///< w(e) = 1
+    kMean,         ///< w(e) = 1/deg(v)
+    kGcnNormPair,  ///< w(e) = norm[src] * norm[dst]
+    kEdgeArray,    ///< w(e) = edge_w[e]
+    kMessages,     ///< out[v] = Σ msg[e] (X indexed by edge id, not src)
+  };
+
+  /// `register_cache = false` reproduces the no-register-caching variant for
+  /// the Figure 10 ablation: loop bounds re-read per edge, accumulator kept
+  /// in global memory (read-modify-write per edge).
+  SpmmKernel(DeviceGraph g, sim::DevPtr<float> x, sim::DevPtr<float> out,
+             std::int64_t f, Weighting weighting,
+             sim::DevPtr<float> edge_w = {}, bool register_cache = true)
+      : g_(g), x_(x), out_(out), f_(f), weighting_(weighting), edge_w_(edge_w),
+        register_cache_(register_cache) {
+    TLP_CHECK(f >= 1 && f <= kMaxFeature);
+    if (weighting == Weighting::kEdgeArray)
+      TLP_CHECK_MSG(edge_w_.count >= g.m, "edge weights required");
+  }
+
+  [[nodiscard]] std::int64_t num_items() const override { return g_.n; }
+  [[nodiscard]] std::string name() const override { return "spmm"; }
+  void run_item(sim::WarpCtx& warp, std::int64_t v) override;
+
+ private:
+  void run_cached(sim::WarpCtx& warp, std::int64_t v);
+  void run_uncached(sim::WarpCtx& warp, std::int64_t v);
+  /// Weight of edge e into row `row`; shared by both variants.
+  float edge_weight(sim::WarpCtx& warp, std::int64_t e, std::int64_t row,
+                    float norm_v);
+
+  DeviceGraph g_;
+  sim::DevPtr<float> x_, out_;
+  std::int64_t f_;
+  Weighting weighting_;
+  sim::DevPtr<float> edge_w_;
+  bool register_cache_;
+};
+
+}  // namespace tlp::kernels

@@ -1,0 +1,39 @@
+// Pull-style aggregation with a configurable number of lanes per vertex —
+// the §3.2 coalescing study (Table 2). `lanes_per_vertex == 1` is the
+// "one thread per vertex" implementation whose lanes fetch the same feature
+// index of 32 *different* vertices (uncoalesced, Figure 3a);
+// `lanes_per_vertex == 16` is the "half warp" implementation whose lanes
+// fetch 16 *consecutive* feature elements (coalesced, Figure 3b); 32 is
+// exactly TLPGNN's warp-per-vertex mapping.
+#pragma once
+
+#include "kernels/conv_common.hpp"
+#include "sim/kernel.hpp"
+
+namespace tlp::kernels {
+
+class SubwarpPullKernel final : public sim::WarpKernel {
+ public:
+  /// `lanes_per_vertex` must be a power of two in [1, 32].
+  SubwarpPullKernel(DeviceGraph g, sim::DevPtr<float> feat,
+                    sim::DevPtr<float> out, std::int64_t feature_size,
+                    SimpleConv conv, int lanes_per_vertex);
+
+  [[nodiscard]] std::int64_t num_items() const override {
+    return (g_.n + vpw_ - 1) / vpw_;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  void run_item(sim::WarpCtx& warp, std::int64_t item) override;
+
+ private:
+  DeviceGraph g_;
+  sim::DevPtr<float> feat_;
+  sim::DevPtr<float> out_;
+  std::int64_t f_;
+  SimpleConv conv_;
+  int lpv_;  ///< lanes per vertex
+  int vpw_;  ///< vertices per warp = 32 / lpv
+};
+
+}  // namespace tlp::kernels

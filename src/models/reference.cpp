@@ -1,0 +1,167 @@
+#include "models/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tlp::models {
+
+using graph::Csr;
+using graph::VertexId;
+using tensor::Tensor;
+
+namespace {
+
+/// Per-edge multiplier from the spec's optional edge weights (Eq. 1's e_vu).
+float edge_w(const ConvSpec& spec, graph::EdgeOffset e) {
+  return spec.has_edge_weights()
+             ? spec.edge_weights[static_cast<std::size_t>(e)]
+             : 1.0f;
+}
+
+Tensor gcn_ref(const Csr& g, const Tensor& h, const ConvSpec& spec) {
+  const std::vector<float> norm = gcn_norm(g);
+  Tensor out(h.rows(), h.cols());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto dst = out.row(v);
+    const float nv = norm[static_cast<std::size_t>(v)];
+    // Self loop.
+    const auto self = h.row(v);
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += self[j] * nv * nv;
+    const auto base = g.indptr()[static_cast<std::size_t>(v)];
+    const auto ns = g.neighbors(v);
+    for (std::size_t e = 0; e < ns.size(); ++e) {
+      const VertexId u = ns[e];
+      const float w = norm[static_cast<std::size_t>(u)] * nv *
+                      edge_w(spec, base + static_cast<graph::EdgeOffset>(e));
+      const auto src = h.row(u);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += src[j] * w;
+    }
+  }
+  return out;
+}
+
+Tensor gin_ref(const Csr& g, const Tensor& h, const ConvSpec& spec) {
+  Tensor out(h.rows(), h.cols());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto dst = out.row(v);
+    const auto self = h.row(v);
+    for (std::size_t j = 0; j < dst.size(); ++j)
+      dst[j] = (1.0f + spec.gin_eps) * self[j];
+    const auto base = g.indptr()[static_cast<std::size_t>(v)];
+    const auto ns = g.neighbors(v);
+    for (std::size_t e = 0; e < ns.size(); ++e) {
+      const float w = edge_w(spec, base + static_cast<graph::EdgeOffset>(e));
+      const auto src = h.row(ns[e]);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += w * src[j];
+    }
+  }
+  return out;
+}
+
+Tensor sage_ref(const Csr& g, const Tensor& h, const ConvSpec& spec) {
+  Tensor out(h.rows(), h.cols());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto deg = g.degree(v);
+    if (deg == 0) continue;
+    auto dst = out.row(v);
+    const auto base = g.indptr()[static_cast<std::size_t>(v)];
+    const auto ns = g.neighbors(v);
+    for (std::size_t e = 0; e < ns.size(); ++e) {
+      const float w = edge_w(spec, base + static_cast<graph::EdgeOffset>(e));
+      const auto src = h.row(ns[e]);
+      for (std::size_t j = 0; j < dst.size(); ++j) dst[j] += w * src[j];
+    }
+    const float inv = 1.0f / static_cast<float>(deg);
+    for (auto& x : dst) x *= inv;
+  }
+  return out;
+}
+
+Tensor gat_ref(const Csr& g, const Tensor& h, const GatParams& gat) {
+  const std::vector<float> logits = reference_gat_logits(g, h, gat);
+  const int heads = gat.heads;
+  const std::int64_t hd = gat.head_dim();
+  Tensor out(h.rows(), h.cols());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto deg = g.degree(v);
+    if (deg == 0) continue;
+    const auto base = g.indptr()[static_cast<std::size_t>(v)];
+    auto dst = out.row(v);
+    const auto ns = g.neighbors(v);
+    for (int k = 0; k < heads; ++k) {
+      // Numerically stable edge softmax over the in-edges of v, per head.
+      auto logit_of = [&](graph::EdgeOffset e) {
+        return logits[static_cast<std::size_t>((base + e) * heads + k)];
+      };
+      float mx = -std::numeric_limits<float>::infinity();
+      for (graph::EdgeOffset e = 0; e < deg; ++e)
+        mx = std::max(mx, logit_of(e));
+      float denom = 0.0f;
+      for (graph::EdgeOffset e = 0; e < deg; ++e)
+        denom += std::exp(logit_of(e) - mx);
+      for (graph::EdgeOffset e = 0; e < deg; ++e) {
+        const float alpha = std::exp(logit_of(e) - mx) / denom;
+        const auto src = h.row(ns[static_cast<std::size_t>(e)]);
+        for (std::int64_t j = k * hd; j < (k + 1) * hd; ++j)
+          dst[static_cast<std::size_t>(j)] +=
+              alpha * src[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> reference_gat_logits(const Csr& g, const Tensor& h,
+                                        const GatParams& gat) {
+  // Per-vertex halves of the additive attention, then combine per edge.
+  const GatHalves halves = gat_halves(h, gat);
+  const int heads = gat.heads;
+  std::vector<float> logits(
+      static_cast<std::size_t>(g.num_edges() * heads));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto base = g.indptr()[static_cast<std::size_t>(v)];
+    const auto ns = g.neighbors(v);
+    for (std::size_t e = 0; e < ns.size(); ++e) {
+      for (int k = 0; k < heads; ++k) {
+        const float x =
+            halves.src[static_cast<std::size_t>(ns[e] * heads + k)] +
+            halves.dst[static_cast<std::size_t>(v * heads + k)];
+        logits[(static_cast<std::size_t>(base) + e) * heads +
+               static_cast<std::size_t>(k)] =
+            x >= 0.0f ? x : gat.leaky_slope * x;
+      }
+    }
+  }
+  return logits;
+}
+
+Tensor reference_conv(const Csr& g, const Tensor& h, const ConvSpec& spec) {
+  TLP_CHECK(h.rows() == g.num_vertices());
+  if (spec.has_edge_weights()) {
+    TLP_CHECK_MSG(static_cast<std::int64_t>(spec.edge_weights.size()) ==
+                      g.num_edges(),
+                  "edge_weights must have one entry per edge");
+    TLP_CHECK_MSG(spec.kind != ModelKind::kGat,
+                  "edge weights are not defined for GAT (attention already "
+                  "weights the edges)");
+  }
+  switch (spec.kind) {
+    case ModelKind::kGcn:
+      return gcn_ref(g, h, spec);
+    case ModelKind::kGin:
+      return gin_ref(g, h, spec);
+    case ModelKind::kSage:
+      return sage_ref(g, h, spec);
+    case ModelKind::kGat:
+      return gat_ref(g, h, spec.gat);
+  }
+  TLP_CHECK(false);
+  __builtin_unreachable();
+}
+
+}  // namespace tlp::models

@@ -1,0 +1,23 @@
+// CPU reference ("gold") implementation of every model's graph convolution.
+// Slow and obviously correct; all simulator kernels are tested against it.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "models/model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tlp::models {
+
+/// Computes the convolution defined in model.hpp for the given model.
+/// `h` is (num_vertices x F); the result has the same shape.
+tensor::Tensor reference_conv(const graph::Csr& g, const tensor::Tensor& h,
+                              const ConvSpec& spec);
+
+/// Per-edge GAT attention logits e(u,v) in CSR edge order (before softmax),
+/// head-interleaved (edge*heads + k); size E for a single head. Exposed so
+/// multi-kernel pipelines can be tested stage by stage.
+std::vector<float> reference_gat_logits(const graph::Csr& g,
+                                        const tensor::Tensor& h,
+                                        const GatParams& gat);
+
+}  // namespace tlp::models

@@ -1,0 +1,54 @@
+#include "sim/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace tlp::sim {
+
+SetAssocCache::SetAssocCache(std::int64_t capacity_bytes, int line_bytes,
+                             int ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  TLP_CHECK(capacity_bytes > 0 && line_bytes > 0 && ways > 0);
+  const std::int64_t lines = capacity_bytes / line_bytes;
+  TLP_CHECK_MSG(lines >= ways && lines % ways == 0,
+                "capacity must hold a whole number of sets");
+  num_sets_ = static_cast<int>(lines / ways);
+  ways_storage_.assign(static_cast<std::size_t>(num_sets_) * ways_, Way{});
+}
+
+bool SetAssocCache::access(std::uint64_t byte_addr) {
+  const std::uint64_t line = byte_addr / static_cast<std::uint64_t>(line_bytes_);
+  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
+  Way* base = &ways_storage_[set * static_cast<std::size_t>(ways_)];
+  ++accesses_;
+  ++tick_;
+  std::size_t victim = 0;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == line) {
+      base[w].last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].last_use < base[victim].last_use) victim = static_cast<std::size_t>(w);
+  }
+  base[victim] = Way{line, tick_};
+  return false;
+}
+
+bool SetAssocCache::contains(std::uint64_t byte_addr) const {
+  const std::uint64_t line = byte_addr / static_cast<std::uint64_t>(line_bytes_);
+  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
+  const Way* base = &ways_storage_[set * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].tag == line) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::reset() {
+  ways_storage_.assign(ways_storage_.size(), Way{});
+  tick_ = 0;
+  accesses_ = 0;
+  hits_ = 0;
+}
+
+}  // namespace tlp::sim

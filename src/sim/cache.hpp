@@ -1,0 +1,49 @@
+// Set-associative tag-array cache model with LRU replacement. Used for the
+// per-SM L1s and the shared L2; only tags are tracked (data lives in the
+// DeviceMemory arena), which is all the traffic/hit-rate metrics need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tlp::sim {
+
+class SetAssocCache {
+ public:
+  /// `capacity_bytes` / `line_bytes` / `ways` must divide evenly.
+  SetAssocCache(std::int64_t capacity_bytes, int line_bytes, int ways);
+
+  /// Accesses the line containing `byte_addr`; returns true on hit and
+  /// inserts on miss. LRU within the set.
+  bool access(std::uint64_t byte_addr);
+
+  /// Probe without inserting or touching LRU state.
+  [[nodiscard]] bool contains(std::uint64_t byte_addr) const;
+
+  void reset();
+
+  [[nodiscard]] std::int64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] double hit_rate() const {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(hits_) / static_cast<double>(accesses_);
+  }
+  [[nodiscard]] int num_sets() const { return num_sets_; }
+  [[nodiscard]] int ways() const { return ways_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t last_use = 0;
+  };
+
+  int line_bytes_;
+  int ways_;
+  int num_sets_;
+  std::vector<Way> ways_storage_;  // num_sets_ * ways_
+  std::uint64_t tick_ = 0;
+  std::int64_t accesses_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+}  // namespace tlp::sim

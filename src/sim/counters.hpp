@@ -1,0 +1,89 @@
+// Per-kernel counters collected while kernels execute on the simulator, plus
+// the derived Nsight-style metrics the paper reports (§2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlp::sim {
+
+/// Raw accounting for one kernel launch. Functional execution fills the
+/// traffic/latency fields; the scheduler fills the elapsed/occupancy fields.
+struct KernelRecord {
+  std::string name;
+
+  // --- execution shape -----------------------------------------------------
+  std::int64_t warps = 0;
+  std::int64_t blocks = 0;
+  int warps_per_block = 0;
+
+  // --- issue & latency (summed over warps) ---------------------------------
+  double issue_cycles = 0;      ///< warp-instructions issued
+  double mem_stall_cycles = 0;  ///< raw load-to-use latency accumulated
+  double atomic_stall_cycles = 0;
+
+  // --- memory system ---------------------------------------------------
+  std::int64_t requests = 0;  ///< warp-level global memory requests
+  std::int64_t sectors = 0;   ///< 32 B sectors those requests touched
+  std::int64_t bytes_load = 0;    ///< L1-miss load traffic (L1<->L2 bus)
+  std::int64_t bytes_store = 0;   ///< store traffic (write-through L1)
+  std::int64_t bytes_atomic = 0;  ///< atomic traffic (bypasses L1)
+  std::int64_t bytes_dram = 0;    ///< L2-miss traffic
+  std::int64_t l1_accesses = 0, l1_hits = 0;
+  std::int64_t l2_accesses = 0, l2_hits = 0;
+  std::int64_t atomic_ops = 0;
+
+  // --- timing (scheduler output) -------------------------------------------
+  double elapsed_cycles = 0;
+  double resident_warp_integral = 0;  ///< ∫ resident warps dt, all SMs
+  double launch_overhead_us = 0;      ///< device-side launch cost
+
+  void merge_traffic_from(const KernelRecord& other);
+};
+
+/// Metrics aggregated over one or more kernel launches — the quantities
+/// Tables 1–3 and Figures 8–9 print.
+struct Metrics {
+  int kernel_launches = 0;
+  double gpu_time_ms = 0;  ///< sum of kernel elapsed + device launch overhead
+
+  double bytes_load = 0;
+  double bytes_store = 0;
+  double bytes_atomic = 0;
+  double bytes_dram = 0;
+
+  double sectors_per_request = 0;
+  double l1_hit_rate = 0;
+  /// Average memory-stall cycles per issued warp-instruction ("stall for
+  /// long scoreboard" in the paper's tables).
+  double scoreboard_stall = 0;
+  /// Fraction of issue slots used while kernels were resident.
+  double sm_utilization = 0;
+  /// Time-weighted resident warps / max resident warps.
+  double achieved_occupancy = 0;
+
+  std::int64_t peak_device_bytes = 0;
+};
+
+/// Collects KernelRecords for a sequence of launches and derives Metrics.
+class Profiler {
+ public:
+  KernelRecord& begin_kernel(std::string name);
+  [[nodiscard]] const std::vector<KernelRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] KernelRecord& current() { return records_.back(); }
+
+  /// Aggregate metrics over all recorded launches. `spec_*` arguments come
+  /// from the GpuSpec that produced the records.
+  [[nodiscard]] Metrics aggregate(double clock_ghz, int num_sms,
+                                  int issue_width, int warps_per_sm) const;
+
+  void reset() { records_.clear(); }
+
+ private:
+  std::vector<KernelRecord> records_;
+};
+
+}  // namespace tlp::sim

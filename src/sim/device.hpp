@@ -1,0 +1,86 @@
+// Simulated GPU device facade: memory management, kernel launching, and
+// profiling in one object. This is the only simulator type the kernel and
+// system layers need to hold.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/counters.hpp"
+#include "sim/device_memory.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/kernel.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/warp.hpp"
+
+namespace tlp::sim {
+
+class Device {
+ public:
+  explicit Device(const GpuSpec& spec = GpuSpec::v100()) : sys_(spec) {}
+
+  [[nodiscard]] const GpuSpec& spec() const { return sys_.spec; }
+  [[nodiscard]] MemorySystem& sys() { return sys_; }
+  [[nodiscard]] DeviceMemory& mem() { return sys_.mem; }
+
+  /// Allocates and copies host data to the device (cudaMemcpy H2D analogue).
+  template <class T>
+  DevPtr<T> upload(std::span<const T> host) {
+    DevPtr<T> p = sys_.mem.alloc<T>(static_cast<std::int64_t>(host.size()));
+    auto dst = sys_.mem.view(p);
+    std::copy(host.begin(), host.end(), dst.begin());
+    return p;
+  }
+
+  /// Allocates zero-initialized device storage.
+  template <class T>
+  DevPtr<T> alloc_zeroed(std::int64_t count) {
+    DevPtr<T> p = sys_.mem.alloc<T>(count);
+    auto dst = sys_.mem.view(p);
+    std::fill(dst.begin(), dst.end(), T{});
+    return p;
+  }
+
+  /// Copies device data back to a host vector (cudaMemcpy D2H analogue).
+  template <class T>
+  [[nodiscard]] std::vector<T> download(DevPtr<T> p) const {
+    auto src = sys_.mem.view(p);
+    return {src.begin(), src.end()};
+  }
+
+  /// Runs a kernel and records a launch in the profile.
+  KernelRecord& launch(WarpKernel& kernel, const LaunchConfig& cfg = {}) {
+    KernelRecord& rec = profiler_.begin_kernel(kernel.name());
+    run_kernel(sys_, kernel, cfg, rec);
+    return rec;
+  }
+
+  [[nodiscard]] const Profiler& profiler() const { return profiler_; }
+
+  /// Aggregate Nsight-style metrics over all launches since the last reset.
+  [[nodiscard]] Metrics metrics() const {
+    Metrics m = profiler_.aggregate(sys_.spec.clock_ghz, sys_.spec.num_sms,
+                                    sys_.spec.issue_width,
+                                    sys_.spec.warps_per_sm);
+    m.peak_device_bytes = sys_.mem.peak_bytes();
+    return m;
+  }
+
+  [[nodiscard]] double gpu_time_ms() const { return metrics().gpu_time_ms; }
+
+  /// Clears the launch profile, keeping memory and cache contents.
+  void reset_profile() { profiler_.reset(); }
+
+  /// Full reset: profile, caches, and device memory.
+  void reset_all() {
+    profiler_.reset();
+    sys_.reset_caches();
+    sys_.mem.reset();
+  }
+
+ private:
+  MemorySystem sys_;
+  Profiler profiler_;
+};
+
+}  // namespace tlp::sim

@@ -1,0 +1,28 @@
+#include "sim/device_memory.hpp"
+
+#include <cstring>
+
+namespace tlp::sim {
+
+std::uint64_t DeviceMemory::bump(std::uint64_t bytes) {
+  constexpr std::uint64_t kAlign = 256;
+  const std::uint64_t offset = (top_ + kAlign - 1) / kAlign * kAlign;
+  top_ = offset + bytes;
+  if (top_ > arena_.size()) {
+    // Grow geometrically; views are documented as invalidated by alloc().
+    std::uint64_t cap = arena_.empty() ? (1u << 20) : arena_.size();
+    while (cap < top_) cap *= 2;
+    arena_.resize(cap);
+  }
+  return offset;
+}
+
+void DeviceMemory::reset() {
+  top_ = 0;
+  live_bytes_ = 0;
+  peak_bytes_ = 0;
+  arena_.clear();
+  arena_.shrink_to_fit();
+}
+
+}  // namespace tlp::sim

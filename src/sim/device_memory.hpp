@@ -1,0 +1,99 @@
+// Simulated global-memory arena.
+//
+// Kernels really read and write this storage — results are later checked
+// against a CPU reference — and the arena doubles as the address space for
+// the coalescing/cache model (byte addresses are arena offsets). Allocation
+// is a bump pointer with live/peak accounting; `peak_bytes()` is the
+// "Global mem usage" metric of Table 3.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tlp::sim {
+
+/// Typed handle into device memory. Trivially copyable; the arena outlives
+/// all handles it issued.
+template <class T>
+struct DevPtr {
+  std::uint64_t byte_offset = 0;
+  std::int64_t count = 0;
+
+  [[nodiscard]] bool is_null() const { return count == 0; }
+  [[nodiscard]] std::uint64_t addr(std::int64_t index) const {
+    return byte_offset + static_cast<std::uint64_t>(index) * sizeof(T);
+  }
+};
+
+class DeviceMemory {
+ public:
+  DeviceMemory() = default;
+
+  /// Allocates `count` elements, 256-byte aligned (cudaMalloc alignment).
+  /// Invalidates previously obtained views (the arena may reallocate).
+  template <class T>
+  DevPtr<T> alloc(std::int64_t count) {
+    TLP_CHECK(count >= 0);
+    const std::uint64_t offset = bump(static_cast<std::uint64_t>(count) * sizeof(T));
+    live_bytes_ += static_cast<std::int64_t>(count) * static_cast<std::int64_t>(sizeof(T));
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+    return DevPtr<T>{offset, count};
+  }
+
+  /// Marks an allocation dead for the live/peak accounting. Storage is not
+  /// recycled (bump arena); reset() reclaims everything.
+  template <class T>
+  void free(DevPtr<T>& p) {
+    live_bytes_ -= p.count * static_cast<std::int64_t>(sizeof(T));
+    TLP_CHECK(live_bytes_ >= 0);
+    p = DevPtr<T>{};
+  }
+
+  /// Host view of an allocation. Invalidated by the next alloc().
+  template <class T>
+  [[nodiscard]] std::span<T> view(DevPtr<T> p) {
+    return {reinterpret_cast<T*>(arena_.data() + p.byte_offset),
+            static_cast<std::size_t>(p.count)};
+  }
+  template <class T>
+  [[nodiscard]] std::span<const T> view(DevPtr<T> p) const {
+    return {reinterpret_cast<const T*>(arena_.data() + p.byte_offset),
+            static_cast<std::size_t>(p.count)};
+  }
+
+  /// Raw typed access used by the warp context's load/store paths.
+  template <class T>
+  [[nodiscard]] T read(std::uint64_t byte_addr) const {
+    TLP_DCHECK(byte_addr + sizeof(T) <= arena_.size());
+    T out;
+    std::memcpy(&out, arena_.data() + byte_addr, sizeof(T));
+    return out;
+  }
+  template <class T>
+  void write(std::uint64_t byte_addr, T value) {
+    TLP_DCHECK(byte_addr + sizeof(T) <= arena_.size());
+    std::memcpy(arena_.data() + byte_addr, &value, sizeof(T));
+  }
+
+  [[nodiscard]] std::int64_t live_bytes() const { return live_bytes_; }
+  [[nodiscard]] std::int64_t peak_bytes() const { return peak_bytes_; }
+
+  /// Releases everything and clears peak accounting.
+  void reset();
+
+ private:
+  std::uint64_t bump(std::uint64_t bytes);
+
+  std::vector<std::byte> arena_;
+  std::uint64_t top_ = 0;
+  std::int64_t live_bytes_ = 0;
+  std::int64_t peak_bytes_ = 0;
+};
+
+}  // namespace tlp::sim

@@ -1,0 +1,31 @@
+#include "sim/gpu_spec.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tlp::sim {
+
+GpuSpec GpuSpec::v100_scaled(int divisor) {
+  TLP_CHECK(divisor >= 1);
+  GpuSpec s;
+  s.num_sms = std::max(1, s.num_sms / divisor);
+  // Keep at least 32 lines per cache and round capacities to whole sets so
+  // the set-associative geometry stays valid.
+  const auto round_to_sets = [&](std::int64_t bytes, int ways) {
+    const std::int64_t set_bytes =
+        static_cast<std::int64_t>(s.line_bytes) * ways;
+    return std::max(set_bytes, bytes / set_bytes * set_bytes);
+  };
+  s.l1_bytes = round_to_sets(
+      std::max<std::int64_t>(4 << 10, s.l1_bytes / divisor), s.l1_ways);
+  s.l2_bytes = round_to_sets(
+      std::max<std::int64_t>(64 << 10, s.l2_bytes / divisor), s.l2_ways);
+  s.dram_bytes_per_cycle =
+      std::max(8.0, s.dram_bytes_per_cycle / divisor);
+  s.l2_bytes_per_cycle = std::max(16.0, s.l2_bytes_per_cycle / divisor);
+  s.atomic_ops_per_cycle = std::max(1.0, s.atomic_ops_per_cycle / divisor);
+  return s;
+}
+
+}  // namespace tlp::sim

@@ -1,0 +1,53 @@
+// Kernel and launch-policy abstractions.
+//
+// A WarpKernel exposes warp-granularity work items (for vertex-parallel
+// kernels an item is one vertex; for thread-per-vertex or edge-centric
+// kernels an item is a 32-wide group). The scheduler decides which warp runs
+// which item and when — hardware dynamic block dispatch, static chunking, or
+// the software task pool of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/warp.hpp"
+
+namespace tlp::sim {
+
+class WarpKernel {
+ public:
+  virtual ~WarpKernel() = default;
+
+  /// Number of warp-granularity work items in this launch.
+  [[nodiscard]] virtual std::int64_t num_items() const = 0;
+
+  /// Executes one item on one warp. All global memory access must go through
+  /// the WarpCtx so the cost model sees it.
+  virtual void run_item(WarpCtx& warp, std::int64_t item) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class Assignment {
+  /// One warp per item; blocks dispatched to SMs as slots free up (paper §5,
+  /// "hardware-based assignment").
+  kHardwareDynamic,
+  /// Fixed warp count; each warp owns a contiguous chunk of items. The
+  /// "two-level parallelism only" baseline of Figure 10.
+  kStaticChunk,
+  /// Fixed resident warp count; warps grab `pool_step` items at a time from
+  /// a global atomic counter (paper Algorithm 1).
+  kSoftwarePool,
+};
+
+struct LaunchConfig {
+  Assignment assignment = Assignment::kHardwareDynamic;
+  int warps_per_block = 16;  ///< 512 threads, the paper's default block size
+  /// Items grabbed per pool round (Algorithm 1's `step`).
+  int pool_step = 16;
+  /// If > 0, fixes the grid size in blocks (Figure 11's thread-count sweep);
+  /// otherwise the scheduler sizes the grid per assignment policy.
+  int grid_blocks = 0;
+};
+
+}  // namespace tlp::sim

@@ -1,0 +1,18 @@
+// Discrete-event kernel scheduler: executes a WarpKernel functionally and
+// reconstructs elapsed GPU time from the per-warp costs, the SM slot
+// structure, and whole-GPU throughput floors (DESIGN.md §4).
+#pragma once
+
+#include "sim/counters.hpp"
+#include "sim/kernel.hpp"
+#include "sim/warp.hpp"
+
+namespace tlp::sim {
+
+/// Runs `kernel` on the simulated GPU under `cfg`, filling `rec` with both
+/// the traffic counters (from functional execution) and the timing fields.
+/// `sys.rec` is pointed at `rec` for the duration of the call.
+void run_kernel(MemorySystem& sys, WarpKernel& kernel, const LaunchConfig& cfg,
+                KernelRecord& rec);
+
+}  // namespace tlp::sim

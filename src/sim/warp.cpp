@@ -1,0 +1,319 @@
+#include "sim/warp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tlp::sim {
+
+MemorySystem::MemorySystem(const GpuSpec& s)
+    : spec(s), l2(s.l2_bytes, s.line_bytes, s.l2_ways) {
+  l1.reserve(static_cast<std::size_t>(s.num_sms));
+  for (int i = 0; i < s.num_sms; ++i)
+    l1.emplace_back(s.l1_bytes, s.line_bytes, s.l1_ways);
+}
+
+void MemorySystem::reset_caches() {
+  for (auto& c : l1) c.reset();
+  l2.reset();
+}
+
+namespace {
+
+struct LineEntry {
+  std::uint64_t line;
+  std::uint32_t sector_mask;
+};
+
+}  // namespace
+
+void WarpCtx::request(const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
+                      int bytes_per_lane, Op op) {
+  if (m == 0) return;
+  auto& sys = *sys_;
+  KernelRecord& rec = *sys.rec;
+  const GpuSpec& spec = sys.spec;
+
+  // Dedupe lane addresses into 128 B lines with per-line 32 B sector masks.
+  // Accesses are element-aligned, so a lane never straddles a sector.
+  std::array<LineEntry, kWarpSize> lines;
+  int nlines = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    const std::uint64_t a = addr[l];
+    const std::uint64_t line = a >> 7;
+    const auto sector_bit = std::uint32_t{1}
+                            << ((a >> 5) & 3u);  // sector within line
+    // Consecutive lanes usually share the previous entry — check it first.
+    int found = -1;
+    if (nlines > 0 && lines[static_cast<std::size_t>(nlines - 1)].line == line) {
+      found = nlines - 1;
+    } else {
+      for (int i = 0; i < nlines - 1; ++i) {
+        if (lines[static_cast<std::size_t>(i)].line == line) {
+          found = i;
+          break;
+        }
+      }
+    }
+    if (found < 0) {
+      lines[static_cast<std::size_t>(nlines++)] = {line, sector_bit};
+    } else {
+      lines[static_cast<std::size_t>(found)].sector_mask |= sector_bit;
+    }
+  }
+
+  // The second+ lane of a multi-byte element touches the same sector; with
+  // bytes_per_lane == 8 the mask above is still right because elements are
+  // 8-byte aligned. (Asserted in debug builds.)
+  (void)bytes_per_lane;
+
+  rec.requests += 1;
+  issue_ += 1;  // the ld/st instruction itself
+
+  double worst_latency = 0;
+  std::int64_t miss_l1_sectors = 0;
+  std::int64_t miss_l2_sectors = 0;
+  std::int64_t total_sectors = 0;
+  for (int i = 0; i < nlines; ++i) {
+    const auto& e = lines[static_cast<std::size_t>(i)];
+    const int nsec = std::popcount(e.sector_mask);
+    total_sectors += nsec;
+    const std::uint64_t probe_addr = e.line << 7;
+    bool l1_hit = false, l2_hit = false;
+    if (op == Op::kAtomic) {
+      // Global atomics resolve at the L2 atomic units and bypass L1.
+      if (sys.model_caches) {
+        rec.l2_accesses++;
+        l2_hit = sys.l2.access(probe_addr);
+        if (l2_hit) rec.l2_hits++;
+      }
+      miss_l1_sectors += nsec;
+      if (!l2_hit) miss_l2_sectors += nsec;
+      worst_latency = std::max(worst_latency, spec.atomic_latency);
+      continue;
+    }
+    if (sys.model_caches) {
+      rec.l1_accesses++;
+      l1_hit = sys.l1[static_cast<std::size_t>(sm_)].access(probe_addr);
+      if (l1_hit) {
+        rec.l1_hits++;
+      } else {
+        rec.l2_accesses++;
+        l2_hit = sys.l2.access(probe_addr);
+        if (l2_hit) rec.l2_hits++;
+      }
+    }
+    if (!l1_hit) miss_l1_sectors += nsec;
+    if (!l1_hit && !l2_hit) miss_l2_sectors += nsec;
+    if (op == Op::kLoad) {
+      const double lat = l1_hit ? spec.l1_latency
+                                : (l2_hit ? spec.l2_latency : spec.dram_latency);
+      worst_latency = std::max(worst_latency, lat);
+    }
+  }
+
+  rec.sectors += total_sectors;
+  const std::int64_t sector_bytes =
+      static_cast<std::int64_t>(spec.sector_bytes);
+  switch (op) {
+    case Op::kLoad:
+      rec.bytes_load += miss_l1_sectors * sector_bytes;
+      // Loads pipeline a few deep before the scoreboard stalls the warp.
+      mem_ += worst_latency / spec.load_pipeline_depth;
+      break;
+    case Op::kStore:
+      // Write-through L1: every store sector crosses the L1<->L2 bus.
+      rec.bytes_store += total_sectors * sector_bytes;
+      // Stores retire without stalling the warp.
+      break;
+    case Op::kAtomic:
+      rec.bytes_atomic += total_sectors * sector_bytes;
+      mem_ += worst_latency;  // atomics serialize; no pipelining
+      break;
+  }
+  rec.bytes_dram += miss_l2_sectors * sector_bytes;
+}
+
+WVec<float> WarpCtx::load_f32(DevPtr<float> base,
+                              const WVec<std::int64_t>& idx, Mask m) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  WVec<float> out{};
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    addr[static_cast<std::size_t>(l)] = base.addr(idx[static_cast<std::size_t>(l)]);
+    out[static_cast<std::size_t>(l)] =
+        sys_->mem.read<float>(addr[static_cast<std::size_t>(l)]);
+  }
+  request(addr, m, 4, Op::kLoad);
+  return out;
+}
+
+WVec<std::int32_t> WarpCtx::load_i32(DevPtr<std::int32_t> base,
+                                     const WVec<std::int64_t>& idx, Mask m) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  WVec<std::int32_t> out{};
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    addr[static_cast<std::size_t>(l)] = base.addr(idx[static_cast<std::size_t>(l)]);
+    out[static_cast<std::size_t>(l)] =
+        sys_->mem.read<std::int32_t>(addr[static_cast<std::size_t>(l)]);
+  }
+  request(addr, m, 4, Op::kLoad);
+  return out;
+}
+
+WVec<std::int64_t> WarpCtx::load_i64(DevPtr<std::int64_t> base,
+                                     const WVec<std::int64_t>& idx, Mask m) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  WVec<std::int64_t> out{};
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    addr[static_cast<std::size_t>(l)] = base.addr(idx[static_cast<std::size_t>(l)]);
+    out[static_cast<std::size_t>(l)] =
+        sys_->mem.read<std::int64_t>(addr[static_cast<std::size_t>(l)]);
+  }
+  request(addr, m, 8, Op::kLoad);
+  return out;
+}
+
+void WarpCtx::store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                        const WVec<float>& val, Mask m) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    addr[static_cast<std::size_t>(l)] = base.addr(idx[static_cast<std::size_t>(l)]);
+    sys_->mem.write<float>(addr[static_cast<std::size_t>(l)],
+                           val[static_cast<std::size_t>(l)]);
+  }
+  request(addr, m, 4, Op::kStore);
+}
+
+void WarpCtx::atomic_add_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                             const WVec<float>& val, Mask m) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  // Apply the adds; count the worst per-address lane multiplicity, which the
+  // atomic units must serialize (replay cost).
+  int worst_conflict = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    const std::uint64_t a = base.addr(idx[static_cast<std::size_t>(l)]);
+    addr[static_cast<std::size_t>(l)] = a;
+    const float old = sys_->mem.read<float>(a);
+    sys_->mem.write<float>(a, old + val[static_cast<std::size_t>(l)]);
+    int conflicts = 0;
+    for (int k = 0; k < l; ++k) {
+      if (lane_active(m, k) && addr[static_cast<std::size_t>(k)] == a) ++conflicts;
+    }
+    worst_conflict = std::max(worst_conflict, conflicts);
+  }
+  request(addr, m, 4, Op::kAtomic);
+  sys_->rec->atomic_ops += std::popcount(m);
+  const double replay =
+      static_cast<double>(worst_conflict) * sys_->spec.atomic_replay_cycles;
+  mem_ += replay;
+  sys_->rec->atomic_stall_cycles += replay;
+}
+
+void WarpCtx::atomic_max_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                             const WVec<float>& val, Mask m) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  int worst_conflict = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_active(m, l)) continue;
+    const std::uint64_t a = base.addr(idx[static_cast<std::size_t>(l)]);
+    addr[static_cast<std::size_t>(l)] = a;
+    const float old = sys_->mem.read<float>(a);
+    sys_->mem.write<float>(a,
+                           std::max(old, val[static_cast<std::size_t>(l)]));
+    int conflicts = 0;
+    for (int k = 0; k < l; ++k) {
+      if (lane_active(m, k) && addr[static_cast<std::size_t>(k)] == a) ++conflicts;
+    }
+    worst_conflict = std::max(worst_conflict, conflicts);
+  }
+  request(addr, m, 4, Op::kAtomic);
+  sys_->rec->atomic_ops += std::popcount(m);
+  const double replay =
+      static_cast<double>(worst_conflict) * sys_->spec.atomic_replay_cycles;
+  mem_ += replay;
+  sys_->rec->atomic_stall_cycles += replay;
+}
+
+float WarpCtx::load_scalar_f32(DevPtr<float> base, std::int64_t idx) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  addr[0] = base.addr(idx);
+  const float v = sys_->mem.read<float>(addr[0]);
+  request(addr, 0x1u, 4, Op::kLoad);
+  return v;
+}
+
+std::int32_t WarpCtx::load_scalar_i32(DevPtr<std::int32_t> base,
+                                      std::int64_t idx) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  addr[0] = base.addr(idx);
+  const auto v = sys_->mem.read<std::int32_t>(addr[0]);
+  request(addr, 0x1u, 4, Op::kLoad);
+  return v;
+}
+
+std::int64_t WarpCtx::load_scalar_i64(DevPtr<std::int64_t> base,
+                                      std::int64_t idx) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  addr[0] = base.addr(idx);
+  const auto v = sys_->mem.read<std::int64_t>(addr[0]);
+  request(addr, 0x1u, 8, Op::kLoad);
+  return v;
+}
+
+void WarpCtx::store_scalar_f32(DevPtr<float> base, std::int64_t idx, float v) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  addr[0] = base.addr(idx);
+  sys_->mem.write<float>(addr[0], v);
+  request(addr, 0x1u, 4, Op::kStore);
+}
+
+std::uint32_t WarpCtx::atomic_add_u32(DevPtr<std::uint32_t> base,
+                                      std::int64_t idx, std::uint32_t add) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  addr[0] = base.addr(idx);
+  const auto old = sys_->mem.read<std::uint32_t>(addr[0]);
+  sys_->mem.write<std::uint32_t>(addr[0], old + add);
+  request(addr, 0x1u, 4, Op::kAtomic);
+  sys_->rec->atomic_ops += 1;
+  return old;
+}
+
+float WarpCtx::atomic_add_scalar_f32(DevPtr<float> base, std::int64_t idx,
+                                     float v) {
+  std::array<std::uint64_t, kWarpSize> addr{};
+  addr[0] = base.addr(idx);
+  const float old = sys_->mem.read<float>(addr[0]);
+  sys_->mem.write<float>(addr[0], old + v);
+  request(addr, 0x1u, 4, Op::kAtomic);
+  sys_->rec->atomic_ops += 1;
+  return old;
+}
+
+float WarpCtx::reduce_sum(const WVec<float>& v, Mask m) {
+  charge_alu(10);  // 5 butterfly shuffles + 5 adds
+  float s = 0.0f;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (lane_active(m, l)) s += v[static_cast<std::size_t>(l)];
+  }
+  return s;
+}
+
+float WarpCtx::reduce_max(const WVec<float>& v, Mask m) {
+  charge_alu(10);
+  float best = -std::numeric_limits<float>::infinity();
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (lane_active(m, l))
+      best = std::max(best, v[static_cast<std::size_t>(l)]);
+  }
+  return best;
+}
+
+}  // namespace tlp::sim

@@ -1,0 +1,117 @@
+// Warp-granularity execution context — the "CUDA" surface kernels are
+// written against.
+//
+// Kernels run warp-synchronously: a WVec<T> holds one value per lane, a Mask
+// selects the active lanes, and every global-memory access goes through this
+// context, which (a) actually moves the data in the DeviceMemory arena and
+// (b) feeds the coalescing/cache/latency model (sector counting over the 32
+// lane addresses, L1/L2 tag probes, atomic-conflict serialization).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/cache.hpp"
+#include "sim/counters.hpp"
+#include "sim/device_memory.hpp"
+#include "sim/gpu_spec.hpp"
+
+namespace tlp::sim {
+
+inline constexpr int kWarpSize = 32;
+
+template <class T>
+using WVec = std::array<T, kWarpSize>;
+
+using Mask = std::uint32_t;
+inline constexpr Mask kFullMask = 0xffffffffu;
+
+/// Mask with the low `n` lanes active.
+[[nodiscard]] constexpr Mask lanes_below(int n) {
+  return n >= kWarpSize ? kFullMask : ((Mask{1} << n) - 1);
+}
+[[nodiscard]] constexpr bool lane_active(Mask m, int lane) {
+  return (m >> lane) & 1u;
+}
+
+/// Everything a warp touches while executing: the arena, the cache
+/// hierarchy, and the counters of the currently running kernel.
+struct MemorySystem {
+  GpuSpec spec;
+  DeviceMemory mem;
+  std::vector<SetAssocCache> l1;  ///< one per SM
+  SetAssocCache l2;
+  KernelRecord* rec = nullptr;  ///< current kernel's counters
+  /// Tests can disable tag simulation to get pure compulsory traffic.
+  bool model_caches = true;
+
+  explicit MemorySystem(const GpuSpec& s);
+  void reset_caches();
+};
+
+class WarpCtx {
+ public:
+  WarpCtx(MemorySystem& sys, int sm_id) : sys_(&sys), sm_(sm_id) {}
+
+  // --- per-warp cost accumulators (read by the scheduler) ------------------
+  [[nodiscard]] double issue_cycles() const { return issue_; }
+  [[nodiscard]] double mem_cycles() const { return mem_; }
+  [[nodiscard]] double total_cycles() const { return issue_ + mem_; }
+  void reset_costs() { issue_ = mem_ = 0; }
+
+  /// Charge `n` warp-instructions of pure ALU work.
+  void charge_alu(int n = 1) { issue_ += n; }
+
+  // --- vector (per-lane) global memory operations --------------------------
+  /// Gather: lane l reads base[idx[l]] when active. One memory request.
+  WVec<float> load_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                       Mask m);
+  WVec<std::int32_t> load_i32(DevPtr<std::int32_t> base,
+                              const WVec<std::int64_t>& idx, Mask m);
+  WVec<std::int64_t> load_i64(DevPtr<std::int64_t> base,
+                              const WVec<std::int64_t>& idx, Mask m);
+  /// Scatter: lane l writes val[l] to base[idx[l]] when active.
+  void store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                 const WVec<float>& val, Mask m);
+  /// Atomic scatter-add with conflict serialization across lanes.
+  void atomic_add_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                      const WVec<float>& val, Mask m);
+  /// Atomic scatter-max (same cost model as atomic_add_f32).
+  void atomic_max_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                      const WVec<float>& val, Mask m);
+
+  // --- scalar (uniform) operations -----------------------------------------
+  /// A single lane loads and broadcasts (e.g. indptr bounds, neighbor ids).
+  float load_scalar_f32(DevPtr<float> base, std::int64_t idx);
+  std::int32_t load_scalar_i32(DevPtr<std::int32_t> base, std::int64_t idx);
+  std::int64_t load_scalar_i64(DevPtr<std::int64_t> base, std::int64_t idx);
+  void store_scalar_f32(DevPtr<float> base, std::int64_t idx, float v);
+  /// Warp-wide fetch-add on a global counter (software work pool). Returns
+  /// the previous value.
+  std::uint32_t atomic_add_u32(DevPtr<std::uint32_t> base, std::int64_t idx,
+                               std::uint32_t add);
+  float atomic_add_scalar_f32(DevPtr<float> base, std::int64_t idx, float v);
+
+  // --- warp collectives -----------------------------------------------------
+  /// Butterfly-shuffle reduction (5 shuffle instructions), sum over active
+  /// lanes, result broadcast to all lanes.
+  float reduce_sum(const WVec<float>& v, Mask m);
+  float reduce_max(const WVec<float>& v, Mask m);
+
+  [[nodiscard]] int sm() const { return sm_; }
+
+ private:
+  enum class Op { kLoad, kStore, kAtomic };
+
+  /// Core of the memory model: dedupes lane addresses into 32 B sectors and
+  /// 128 B lines, probes the caches, charges latency, and records traffic.
+  void request(const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
+               int bytes_per_lane, Op op);
+
+  MemorySystem* sys_;
+  int sm_;
+  double issue_ = 0;
+  double mem_ = 0;
+};
+
+}  // namespace tlp::sim

@@ -1,0 +1,40 @@
+// Micro-baseline systems for §3's profiling study (Table 1) and the
+// Figure 10 ablation baseline:
+//   PushSystem        — push updating policy, atomic writes per out-edge
+//   EdgeCentricSystem — X-Stream-style thread-per-edge, atomic scatter
+//   PullSystem        — plain warp-per-vertex pull (atomic-free)
+#pragma once
+
+#include "systems/system.hpp"
+
+namespace tlp::systems {
+
+class PushSystem final : public GnnSystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "Push"; }
+  [[nodiscard]] bool supports(models::ModelKind kind,
+                              bool /*big_graph*/) const override {
+    return kind != models::ModelKind::kGat;  // GAT softmax cannot be pushed
+  }
+  RunResult run(sim::Device& dev, const graph::Csr& g,
+                const tensor::Tensor& feat,
+                const models::ConvSpec& spec) override;
+};
+
+class EdgeCentricSystem final : public GnnSystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "Edge"; }
+  RunResult run(sim::Device& dev, const graph::Csr& g,
+                const tensor::Tensor& feat,
+                const models::ConvSpec& spec) override;
+};
+
+class PullSystem final : public GnnSystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "Pull"; }
+  RunResult run(sim::Device& dev, const graph::Csr& g,
+                const tensor::Tensor& feat,
+                const models::ConvSpec& spec) override;
+};
+
+}  // namespace tlp::systems

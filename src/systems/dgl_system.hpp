@@ -1,0 +1,27 @@
+// DGL-like replica: the cuSPARSE-backed multi-kernel pipelines (§7.2).
+//
+// DGL expresses each model's convolution as a sequence of library SpMM/SDDMM
+// calls plus the data-format manipulation kernels needed around them,
+// materializing every intermediate in global memory. The replica launches
+// exactly the paper's kernel counts — 6 (GCN), 8 (GIN), 10 (GraphSage),
+// 18 (GAT) — with the corresponding intermediate allocations, which is where
+// Table 3's memory-usage and traffic numbers come from.
+#pragma once
+
+#include "systems/system.hpp"
+
+namespace tlp::systems {
+
+class DglSystem final : public GnnSystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "DGL"; }
+
+  RunResult run(sim::Device& dev, const graph::Csr& g,
+                const tensor::Tensor& feat,
+                const models::ConvSpec& spec) override;
+
+  /// Kernel-launch count of the replica pipeline for a model (6/8/10/18).
+  static int kernel_count(models::ModelKind kind);
+};
+
+}  // namespace tlp::systems

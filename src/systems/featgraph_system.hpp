@@ -1,0 +1,22 @@
+// FeatGraph-like replica: TVM-generated kernels (§7.2). Fewer launches than
+// DGL (it fuses per-model), but the Tensor Expression schedule cannot manage
+// the vertex↔thread mapping freely — the generated kernels use small thread
+// blocks, which caps resident warps at the hardware block-slot limit and
+// yields the low achieved occupancy Figure 9 measures (41.2% vs TLPGNN's
+// 68.2% on average).
+#pragma once
+
+#include "systems/system.hpp"
+
+namespace tlp::systems {
+
+class FeatgraphSystem final : public GnnSystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "FeatGraph"; }
+
+  RunResult run(sim::Device& dev, const graph::Csr& g,
+                const tensor::Tensor& feat,
+                const models::ConvSpec& spec) override;
+};
+
+}  // namespace tlp::systems

@@ -1,0 +1,92 @@
+#include "tensor/dense_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tlp::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& w) {
+  TLP_CHECK_MSG(a.cols() == w.rows(),
+                "matmul shape mismatch: " << a.cols() << " vs " << w.rows());
+  const std::int64_t m = a.rows(), k = a.cols(), n = w.cols();
+  Tensor c(m, n);
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      for (std::int64_t i = i0; i < std::min(m, i0 + kBlock); ++i) {
+        for (std::int64_t kk = k0; kk < std::min(k, k0 + kBlock); ++kk) {
+          const float av = a.at(i, kk);
+          if (av == 0.0f) continue;
+          const auto wrow = w.row(kk);
+          const auto crow = c.row(i);
+          for (std::int64_t j = 0; j < n; ++j)
+            crow[static_cast<std::size_t>(j)] += av * wrow[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  TLP_CHECK(bias.rows() == 1 && bias.cols() == x.cols());
+  Tensor y = x;
+  for (std::int64_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    const auto b = bias.row(0);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += b[j];
+  }
+  return y;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y = x;
+  for (auto& v : y.flat()) v = std::max(v, 0.0f);
+  return y;
+}
+
+Tensor leaky_relu(const Tensor& x, float slope) {
+  Tensor y = x;
+  for (auto& v : y.flat()) v = v >= 0.0f ? v : slope * v;
+  return y;
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  Tensor y(x.rows(), x.cols());
+  for (std::int64_t r = 0; r < x.rows(); ++r) {
+    const auto in = x.row(r);
+    auto out = y.row(r);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (const float v : in) mx = std::max(mx, v);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < in.size(); ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    for (auto& v : out) v /= sum;
+  }
+  return y;
+}
+
+Tensor dropout(const Tensor& x, double p, Rng& rng) {
+  TLP_CHECK(p >= 0.0 && p < 1.0);
+  Tensor y = x;
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
+  for (auto& v : y.flat()) v = rng.next_bool(p) ? 0.0f : v * keep_scale;
+  return y;
+}
+
+Tensor l2_normalize_rows(const Tensor& x, float eps) {
+  Tensor y = x;
+  for (std::int64_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    float norm = 0.0f;
+    for (const float v : row) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < eps) continue;
+    for (auto& v : row) v /= norm;
+  }
+  return y;
+}
+
+}  // namespace tlp::tensor

@@ -1,0 +1,31 @@
+// Dense neural-network operations for the phases before and after graph
+// convolution (§2.1: Dropout/Matmul before, activation/normalization after).
+// These run on the host — the paper's contribution and all of our
+// measurements concern the convolution phase only.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tlp::tensor {
+
+/// C = A(BxK) * W(KxN); blocked for cache friendliness.
+Tensor matmul(const Tensor& a, const Tensor& w);
+
+/// y = x + bias (bias broadcast over rows; bias.rows()==1).
+Tensor add_bias(const Tensor& x, const Tensor& bias);
+
+Tensor relu(const Tensor& x);
+Tensor leaky_relu(const Tensor& x, float slope = 0.2f);
+
+/// Row-wise numerically stable softmax.
+Tensor softmax_rows(const Tensor& x);
+
+/// Inverted dropout: zeroes each element with probability p, scales the rest
+/// by 1/(1-p). Training-mode semantics.
+Tensor dropout(const Tensor& x, double p, Rng& rng);
+
+/// Row-wise L2 normalization (used by GraphSage post-aggregation).
+Tensor l2_normalize_rows(const Tensor& x, float eps = 1e-12f);
+
+}  // namespace tlp::tensor

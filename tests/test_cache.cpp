@@ -1,0 +1,80 @@
+// Tests for the set-associative tag cache model.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/cache.hpp"
+
+namespace tlp::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache c(1024, 128, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same 128 B line
+  EXPECT_EQ(c.accesses(), 3);
+  EXPECT_EQ(c.hits(), 2);
+}
+
+TEST(Cache, DistinctLinesMiss) {
+  SetAssocCache c(1024, 128, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(128));
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
+TEST(Cache, LruEviction) {
+  // 2 sets x 2 ways; lines 0, 2, 4 map to set 0.
+  SetAssocCache c(512, 128, 2);
+  ASSERT_EQ(c.num_sets(), 2);
+  EXPECT_FALSE(c.access(0 * 128));
+  EXPECT_FALSE(c.access(2 * 128));
+  EXPECT_TRUE(c.access(0 * 128));   // refresh line 0
+  EXPECT_FALSE(c.access(4 * 128));  // evicts line 2 (LRU)
+  EXPECT_TRUE(c.access(0 * 128));   // line 0 survived
+  EXPECT_FALSE(c.access(2 * 128));  // line 2 was evicted
+}
+
+TEST(Cache, ContainsDoesNotTouch) {
+  SetAssocCache c(512, 128, 2);
+  EXPECT_FALSE(c.contains(0));
+  c.access(0);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_EQ(c.accesses(), 1);  // contains() did not count
+}
+
+TEST(Cache, CapacityWorkingSet) {
+  // 8 KB cache: 64 lines. A 32-line working set must fit entirely.
+  SetAssocCache c(8192, 128, 4);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int line = 0; line < 32; ++line)
+      c.access(static_cast<std::uint64_t>(line) * 128);
+  }
+  // First sweep misses, the remaining two hit fully.
+  EXPECT_EQ(c.hits(), 64);
+}
+
+TEST(Cache, ThrashingWorkingSet) {
+  // Working set 4x the capacity with a sequential sweep: ~zero hits.
+  SetAssocCache c(1024, 128, 2);  // 8 lines
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int line = 0; line < 32; ++line)
+      c.access(static_cast<std::uint64_t>(line) * 128);
+  }
+  EXPECT_LT(c.hit_rate(), 0.05);
+}
+
+TEST(Cache, ResetClearsState) {
+  SetAssocCache c(1024, 128, 2);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0);
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache(100, 128, 3), tlp::CheckError);
+}
+
+}  // namespace
+}  // namespace tlp::sim

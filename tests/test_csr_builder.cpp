@@ -1,0 +1,116 @@
+// Unit tests for the CSR container and the edge-list builder.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+
+namespace tlp::graph {
+namespace {
+
+Csr diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (pull CSR: row v = in-neighbors)
+  return build_csr(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(Csr, BasicShape) {
+  const Csr g = diamond();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 1.0);
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_EQ(g.degree(3), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Csr, NeighborsAreSources) {
+  const Csr g = diamond();
+  const auto n3 = g.neighbors(3);
+  ASSERT_EQ(n3.size(), 2u);
+  EXPECT_EQ(n3[0], 1);
+  EXPECT_EQ(n3[1], 2);
+}
+
+TEST(Csr, RowsSortedAfterBuild) {
+  const Csr g = diamond();
+  EXPECT_TRUE(g.rows_sorted());
+}
+
+TEST(Csr, ReversedFlipsDirections) {
+  const Csr g = diamond();
+  const Csr r = g.reversed();
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  // In the reverse graph, row 0 holds 0's out-neighbors: 1 and 2.
+  const auto n0 = r.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(n0[1], 2);
+  EXPECT_TRUE(r.rows_sorted());
+}
+
+TEST(Csr, DoubleReverseIsIdentity) {
+  const Csr g = diamond();
+  const Csr rr = g.reversed().reversed();
+  EXPECT_EQ(std::vector(g.indptr().begin(), g.indptr().end()),
+            std::vector(rr.indptr().begin(), rr.indptr().end()));
+  EXPECT_EQ(std::vector(g.indices().begin(), g.indices().end()),
+            std::vector(rr.indices().begin(), rr.indices().end()));
+}
+
+TEST(Csr, ValidateRejectsBadIndptr) {
+  EXPECT_THROW(Csr({0, 2, 1}, {0, 0}), CheckError);       // non-monotone
+  EXPECT_THROW(Csr({0, 1}, {5}), CheckError);             // index out of range
+  EXPECT_THROW(Csr({0, 2}, {0}), CheckError);             // length mismatch
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = build_csr(3, {});
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Builder, RejectsOutOfRangeEdges) {
+  EXPECT_THROW(build_csr(2, {{0, 5}}), CheckError);
+  EXPECT_THROW(build_csr(2, {{-1, 0}}), CheckError);
+}
+
+TEST(Builder, Dedup) {
+  const Csr g = build_csr(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  const Csr multi = build_csr(2, {{0, 1}, {0, 1}}, {.dedup = false});
+  EXPECT_EQ(multi.num_edges(), 2);
+}
+
+TEST(Builder, SelfLoopOptions) {
+  const Csr dropped = build_csr(2, {{0, 0}, {0, 1}}, {.drop_self_loops = true});
+  EXPECT_EQ(dropped.num_edges(), 1);
+  const Csr added = build_csr(2, {{0, 1}}, {.add_self_loops = true});
+  EXPECT_EQ(added.num_edges(), 3);
+  EXPECT_EQ(added.degree(0), 1);  // just (0,0)
+  EXPECT_EQ(added.degree(1), 2);  // (0,1) and (1,1)
+}
+
+TEST(Builder, Symmetrize) {
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}}, {.symmetrize = true});
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Builder, EdgeListRoundTrip) {
+  const Csr g = diamond();
+  const auto edges = to_edge_list(g);
+  const Csr g2 = build_csr(4, edges);
+  EXPECT_EQ(std::vector(g.indices().begin(), g.indices().end()),
+            std::vector(g2.indices().begin(), g2.indices().end()));
+}
+
+TEST(Csr, SummaryMentionsCounts) {
+  const std::string s = diamond().summary();
+  EXPECT_NE(s.find("|V|=4"), std::string::npos);
+  EXPECT_NE(s.find("|E|=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tlp::graph

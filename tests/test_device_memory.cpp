@@ -1,0 +1,78 @@
+// Tests for the simulated device-memory arena.
+#include <gtest/gtest.h>
+
+#include "sim/device_memory.hpp"
+
+namespace tlp::sim {
+namespace {
+
+TEST(DeviceMemory, AllocAligned) {
+  DeviceMemory mem;
+  const auto a = mem.alloc<float>(3);
+  const auto b = mem.alloc<float>(5);
+  EXPECT_EQ(a.byte_offset % 256, 0u);
+  EXPECT_EQ(b.byte_offset % 256, 0u);
+  EXPECT_NE(a.byte_offset, b.byte_offset);
+}
+
+TEST(DeviceMemory, ReadWriteRoundTrip) {
+  DeviceMemory mem;
+  const auto p = mem.alloc<float>(10);
+  mem.write<float>(p.addr(7), 3.25f);
+  EXPECT_FLOAT_EQ(mem.read<float>(p.addr(7)), 3.25f);
+}
+
+TEST(DeviceMemory, ViewsSeeWrites) {
+  DeviceMemory mem;
+  const auto p = mem.alloc<std::int32_t>(4);
+  auto v = mem.view(p);
+  v[2] = 42;
+  EXPECT_EQ(mem.read<std::int32_t>(p.addr(2)), 42);
+}
+
+TEST(DeviceMemory, LiveAndPeakAccounting) {
+  DeviceMemory mem;
+  auto a = mem.alloc<float>(100);  // 400 B
+  EXPECT_EQ(mem.live_bytes(), 400);
+  auto b = mem.alloc<float>(50);  // +200 B
+  EXPECT_EQ(mem.live_bytes(), 600);
+  EXPECT_EQ(mem.peak_bytes(), 600);
+  mem.free(a);
+  EXPECT_EQ(mem.live_bytes(), 200);
+  EXPECT_EQ(mem.peak_bytes(), 600);  // peak is sticky
+  mem.free(b);
+  EXPECT_EQ(mem.live_bytes(), 0);
+}
+
+TEST(DeviceMemory, FreeNullsHandle) {
+  DeviceMemory mem;
+  auto p = mem.alloc<float>(8);
+  mem.free(p);
+  EXPECT_TRUE(p.is_null());
+}
+
+TEST(DeviceMemory, ResetClearsEverything) {
+  DeviceMemory mem;
+  (void)mem.alloc<float>(1000);
+  mem.reset();
+  EXPECT_EQ(mem.live_bytes(), 0);
+  EXPECT_EQ(mem.peak_bytes(), 0);
+  const auto p = mem.alloc<float>(1);
+  EXPECT_EQ(p.byte_offset, 0u);
+}
+
+TEST(DeviceMemory, LargeAllocationGrows) {
+  DeviceMemory mem;
+  const auto p = mem.alloc<float>(1 << 22);  // 16 MB
+  mem.write<float>(p.addr((1 << 22) - 1), 1.0f);
+  EXPECT_FLOAT_EQ(mem.read<float>(p.addr((1 << 22) - 1)), 1.0f);
+}
+
+TEST(DevPtr, AddrArithmetic) {
+  const DevPtr<std::int64_t> p{1024, 10};
+  EXPECT_EQ(p.addr(0), 1024u);
+  EXPECT_EQ(p.addr(3), 1024u + 24u);
+}
+
+}  // namespace
+}  // namespace tlp::sim

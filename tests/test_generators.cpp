@@ -1,0 +1,102 @@
+// Tests for the synthetic graph generators, including the degree-skew
+// properties the dataset replicas rely on.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace tlp::graph {
+namespace {
+
+TEST(ErdosRenyi, SizeAndNoSelfLoops) {
+  Rng rng(1);
+  const Csr g = erdos_renyi(100, 500, rng);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 500);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const VertexId u : g.neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  Rng a(9), b(9);
+  const Csr g1 = erdos_renyi(50, 200, a);
+  const Csr g2 = erdos_renyi(50, 200, b);
+  EXPECT_EQ(std::vector(g1.indices().begin(), g1.indices().end()),
+            std::vector(g2.indices().begin(), g2.indices().end()));
+}
+
+TEST(PowerLaw, SizeAndSkew) {
+  Rng rng(2);
+  const Csr g = power_law(2000, 20000, 2.1, rng);
+  EXPECT_EQ(g.num_edges(), 20000);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.avg, 10.0, 0.01);
+  // Heavy-tailed: max degree far above average, high skew.
+  EXPECT_GT(s.max, 20 * static_cast<EdgeOffset>(s.avg));
+  EXPECT_GT(s.gini, 0.4);
+}
+
+TEST(PowerLaw, SteeperExponentIsLessSkewed) {
+  Rng r1(3), r2(3);
+  const double g_heavy = degree_stats(power_law(2000, 20000, 2.05, r1)).gini;
+  const double g_mild = degree_stats(power_law(2000, 20000, 3.5, r2)).gini;
+  EXPECT_GT(g_heavy, g_mild);
+}
+
+TEST(Rmat, RoundsToPowerOfTwoAndSkewed) {
+  Rng rng(4);
+  const Csr g = rmat(1000, 8000, rng);
+  EXPECT_EQ(g.num_vertices(), 1024);
+  EXPECT_EQ(g.num_edges(), 8000);
+  EXPECT_GT(degree_stats(g).gini, 0.3);
+}
+
+TEST(RegularRing, ExactDegrees) {
+  const Csr g = regular_ring(10, 3);
+  EXPECT_EQ(g.num_edges(), 30);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(Star, MaxImbalance) {
+  const Csr g = star(100);
+  EXPECT_EQ(g.degree(0), 99);
+  for (VertexId v = 1; v < 100; ++v) EXPECT_EQ(g.degree(v), 0);
+}
+
+TEST(Path, Chain) {
+  const Csr g = path(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_EQ(g.neighbors(3)[0], 2);
+}
+
+TEST(Grid2d, DegreesAndSymmetry) {
+  const Csr g = grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // 2*(rows*(cols-1) + cols*(rows-1)) directed edges.
+  EXPECT_EQ(g.num_edges(), 2 * (3 * 3 + 4 * 2));
+  // Corner has 2 in-edges, interior has 4.
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(5), 4);
+}
+
+TEST(Complete, AllPairs) {
+  const Csr g = complete(5);
+  EXPECT_EQ(g.num_edges(), 20);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(DegreeHistogram, BucketsSumToVertices) {
+  Rng rng(5);
+  const Csr g = power_law(500, 3000, 2.3, rng);
+  const auto hist = degree_histogram(g);
+  std::int64_t total = 0;
+  for (const auto c : hist) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace tlp::graph

@@ -1,0 +1,105 @@
+// Tests for the multi-layer GnnModel runner.
+#include <gtest/gtest.h>
+
+#include "core/gnn_model.hpp"
+#include "graph/generators.hpp"
+#include "tensor/dense_ops.hpp"
+
+namespace tlp {
+namespace {
+
+TEST(GnnModel, ShapesFlowThroughLayers) {
+  Rng rng(1);
+  const graph::Csr g = graph::power_law(100, 600, 2.3, rng);
+  const tensor::Tensor x = tensor::Tensor::random(g.num_vertices(), 24, rng);
+
+  GnnModel model(24);
+  model.add_layer(models::ModelKind::kGcn, 16)
+      .add_layer(models::ModelKind::kSage, 8)
+      .add_layer(models::ModelKind::kGin, 4, {.relu = false});
+  EXPECT_EQ(model.num_layers(), 3u);
+  EXPECT_EQ(model.output_features(), 4);
+
+  Engine engine;
+  const tensor::Tensor out = model.forward(engine, g, x);
+  EXPECT_EQ(out.rows(), g.num_vertices());
+  EXPECT_EQ(out.cols(), 4);
+  ASSERT_EQ(model.layer_conv_ms().size(), 3u);
+  for (const double ms : model.layer_conv_ms()) EXPECT_GT(ms, 0.0);
+  EXPECT_NEAR(model.total_conv_ms(),
+              model.layer_conv_ms()[0] + model.layer_conv_ms()[1] +
+                  model.layer_conv_ms()[2],
+              1e-12);
+}
+
+TEST(GnnModel, ReluAppliedPerOptions) {
+  Rng rng(2);
+  const graph::Csr g = graph::power_law(80, 500, 2.3, rng);
+  const tensor::Tensor x = tensor::Tensor::random(g.num_vertices(), 8, rng);
+  Engine engine;
+
+  GnnModel with_relu(8);
+  with_relu.add_layer(models::ModelKind::kGcn, 8, {.relu = true});
+  const tensor::Tensor a = with_relu.forward(engine, g, x);
+  for (const float v : a.flat()) EXPECT_GE(v, 0.0f);
+
+  GnnModel no_relu(8);
+  no_relu.add_layer(models::ModelKind::kGcn, 8, {.relu = false});
+  const tensor::Tensor b = no_relu.forward(engine, g, x);
+  bool has_negative = false;
+  for (const float v : b.flat()) has_negative |= v < 0.0f;
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(GnnModel, DeterministicPerSeed) {
+  Rng rng(3);
+  const graph::Csr g = graph::power_law(60, 300, 2.3, rng);
+  const tensor::Tensor x = tensor::Tensor::random(g.num_vertices(), 8, rng);
+  Engine e1, e2;
+  GnnModel m1(8, 42), m2(8, 42);
+  m1.add_layer(models::ModelKind::kGin, 8);
+  m2.add_layer(models::ModelKind::kGin, 8);
+  EXPECT_EQ(m1.forward(e1, g, x), m2.forward(e2, g, x));
+}
+
+TEST(GnnModel, GatLayerWithHeads) {
+  Rng rng(4);
+  const graph::Csr g = graph::power_law(70, 400, 2.3, rng);
+  const tensor::Tensor x = tensor::Tensor::random(g.num_vertices(), 12, rng);
+  GnnModel model(12);
+  model.add_layer(models::ModelKind::kGat, 16, {.relu = true, .gat_heads = 4});
+  Engine engine;
+  const tensor::Tensor out = model.forward(engine, g, x);
+  EXPECT_EQ(out.cols(), 16);
+  EXPECT_EQ(engine.last_run().kernel_launches, 1);
+}
+
+TEST(GnnModel, RejectsBadConfigs) {
+  GnnModel model(8);
+  EXPECT_THROW(model.add_layer(models::ModelKind::kGat, 10, {.gat_heads = 4}),
+               CheckError);
+  Engine engine;
+  Rng rng(5);
+  const graph::Csr g = graph::path(4);
+  const tensor::Tensor x = tensor::Tensor::random(4, 8, rng);
+  GnnModel empty(8);
+  EXPECT_THROW(empty.forward(engine, g, x), CheckError);
+}
+
+TEST(GnnModel, DropoutChangesActivationsButNotShape) {
+  Rng rng(6);
+  const graph::Csr g = graph::power_law(50, 250, 2.3, rng);
+  const tensor::Tensor x = tensor::Tensor::random(g.num_vertices(), 8, rng);
+  Engine engine;
+  GnnModel model(8, 7);
+  model.add_layer(models::ModelKind::kGcn, 8, {.relu = false, .dropout = 0.5});
+  const tensor::Tensor out = model.forward(engine, g, x);
+  EXPECT_EQ(out.rows(), g.num_vertices());
+  GnnModel no_drop(8, 7);
+  no_drop.add_layer(models::ModelKind::kGcn, 8, {.relu = false});
+  Engine e2;
+  EXPECT_NE(out, no_drop.forward(e2, g, x));
+}
+
+}  // namespace
+}  // namespace tlp

@@ -1,0 +1,114 @@
+// Tests for degree stats, reordering (GNNAdvisor preprocessing substrate),
+// and the greedy partitioner (multi-GPU future-work substrate).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "graph/reorder.hpp"
+#include "graph/stats.hpp"
+
+namespace tlp::graph {
+namespace {
+
+TEST(DegreeStats, StarValues) {
+  const DegreeStats s = degree_stats(star(101));
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_NEAR(s.avg, 100.0 / 101.0, 1e-9);
+  EXPECT_GT(s.gini, 0.9);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(DegreeStats, RegularIsUnskewed) {
+  const DegreeStats s = degree_stats(regular_ring(64, 4));
+  EXPECT_EQ(s.min, 4);
+  EXPECT_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.cv, 0.0);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+}
+
+TEST(Reorder, IdentityIsPermutation) {
+  const Permutation p = identity_order(10);
+  EXPECT_TRUE(is_permutation(p, 10));
+  EXPECT_FALSE(is_permutation(p, 11));
+}
+
+TEST(Reorder, DegreeDescSortsHubsFirst) {
+  const Csr g = star(50);
+  const Permutation p = degree_desc_order(g);
+  EXPECT_EQ(p[0], 0);  // hub first
+  EXPECT_TRUE(is_permutation(p, 50));
+}
+
+TEST(Reorder, BfsVisitsEverything) {
+  Rng rng(1);
+  const Csr g = power_law(300, 1500, 2.3, rng);
+  const Permutation p = bfs_order(g);
+  EXPECT_TRUE(is_permutation(p, g.num_vertices()));
+}
+
+TEST(Reorder, ApplyPermutationPreservesStructure) {
+  Rng rng(2);
+  const Csr g = power_law(200, 1000, 2.3, rng);
+  const Permutation p = degree_desc_order(g);
+  const Csr rg = apply_permutation(g, p);
+  EXPECT_EQ(rg.num_vertices(), g.num_vertices());
+  EXPECT_EQ(rg.num_edges(), g.num_edges());
+  // Degree multiset preserved: new vertex i has old vertex p[i]'s degree.
+  for (VertexId v = 0; v < rg.num_vertices(); ++v)
+    EXPECT_EQ(rg.degree(v), g.degree(p[static_cast<std::size_t>(v)]));
+}
+
+TEST(Reorder, ApplyPermutationRelabelsEdges) {
+  // 0 -> 1 with permutation swapping 0 and 1 becomes 1 -> 0.
+  const Csr g = build_csr(2, {{0, 1}});
+  const Csr rg = apply_permutation(g, {1, 0});
+  EXPECT_EQ(rg.degree(0), 1);
+  EXPECT_EQ(rg.neighbors(0)[0], 1);
+}
+
+TEST(Reorder, RejectsNonPermutation) {
+  const Csr g = build_csr(3, {{0, 1}});
+  EXPECT_THROW(apply_permutation(g, {0, 0, 1}), tlp::CheckError);
+}
+
+TEST(Partition, CoversAllVerticesWithinK) {
+  Rng rng(3);
+  const Csr g = power_law(500, 5000, 2.2, rng);
+  const PartitionResult r = partition_greedy(g, 4);
+  ASSERT_EQ(r.part.size(), 500u);
+  for (const int p : r.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 4);
+  }
+}
+
+TEST(Partition, EdgeCountsConsistent) {
+  Rng rng(4);
+  const Csr g = power_law(400, 4000, 2.3, rng);
+  const PartitionResult r = partition_greedy(g, 3);
+  EdgeOffset total = 0;
+  for (const EdgeOffset e : r.part_edges) total += e;
+  EXPECT_EQ(total, g.num_edges());
+  EXPECT_LE(r.cut_edges, g.num_edges());
+}
+
+TEST(Partition, ReasonablyBalanced) {
+  Rng rng(5);
+  const Csr g = power_law(1000, 20000, 2.3, rng);
+  const PartitionResult r = partition_greedy(g, 4);
+  EXPECT_LT(edge_balance(r), 1.5);
+}
+
+TEST(Partition, SinglePartTrivial) {
+  const Csr g = star(10);
+  const PartitionResult r = partition_greedy(g, 1);
+  EXPECT_EQ(r.cut_edges, 0);
+  EXPECT_DOUBLE_EQ(edge_balance(r), 1.0);
+}
+
+}  // namespace
+}  // namespace tlp::graph

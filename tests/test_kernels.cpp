@@ -1,0 +1,496 @@
+// Correctness of every device kernel against the CPU reference, swept over
+// graph shapes, feature sizes (including non-multiples of the warp width),
+// models, and launch policies. This is the repo's core property: all seven
+// kernel strategies compute the same convolution.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "kernels/advisor_groups.hpp"
+#include "kernels/apply_edge.hpp"
+#include "kernels/apply_vertex.hpp"
+#include "kernels/conv_common.hpp"
+#include "kernels/edge_centric.hpp"
+#include "kernels/fused_gat.hpp"
+#include "kernels/gather_pull.hpp"
+#include "kernels/spmm.hpp"
+#include "kernels/subwarp_pull.hpp"
+#include "models/reference.hpp"
+
+namespace tlp::kernels {
+namespace {
+
+using graph::Csr;
+using models::ConvSpec;
+using models::ModelKind;
+using tensor::Tensor;
+
+Csr make_graph(int id) {
+  Rng rng(100 + static_cast<unsigned>(id));
+  switch (id) {
+    case 0:
+      return graph::power_law(200, 1200, 2.2, rng);
+    case 1:
+      return graph::star(64);
+    case 2:
+      return graph::path(50);
+    case 3:
+      return graph::erdos_renyi(128, 512, rng);
+    case 5:
+      return graph::regular_ring(256, 8);
+    default:
+      return graph::build_csr(16, {});  // empty
+  }
+}
+
+struct ConvHarness {
+  sim::Device dev;
+  Csr g;
+  Tensor h;
+  DeviceGraph dg;
+  sim::DevPtr<float> dfeat;
+  sim::DevPtr<float> dout;
+
+  ConvHarness(int graph_id, std::int64_t f, std::uint64_t seed = 7)
+      : g(make_graph(graph_id)) {
+    Rng rng(seed);
+    h = Tensor::random(g.num_vertices(), f, rng);
+    dg = upload_graph(dev, g);
+    dfeat = upload_features(dev, h);
+    dout = dev.alloc_zeroed<float>(dg.n * f);
+  }
+
+  [[nodiscard]] Tensor out() {
+    return download_features(dev, dout, dg.n, h.cols());
+  }
+  void zero_out() {
+    auto v = dev.mem().view(dout);
+    std::fill(v.begin(), v.end(), 0.0f);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// GatherPull (TLPGNN core) over all models/graphs/feature sizes/assignments.
+// ---------------------------------------------------------------------------
+
+using PullParam = std::tuple<int /*graph*/, int /*f*/, ModelKind,
+                             sim::Assignment, bool /*register cache*/>;
+
+class GatherPullTest : public ::testing::TestWithParam<PullParam> {};
+
+TEST_P(GatherPullTest, MatchesReference) {
+  const auto [graph_id, f, kind, assignment, cache] = GetParam();
+  ConvHarness hx(graph_id, f);
+  Rng rng(1);
+  const ConvSpec spec = ConvSpec::make(kind, f, rng);
+  GatherPullKernel k(hx.dg, hx.dfeat, hx.dout, f, {kind, spec.gin_eps}, cache);
+  sim::LaunchConfig cfg;
+  cfg.assignment = assignment;
+  hx.dev.launch(k, cfg);
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4))
+      << "max diff " << tensor::max_abs_diff(hx.out(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GatherPullTest,
+    ::testing::Combine(::testing::Values(0, 1, 4),
+                       ::testing::Values(1, 32, 33, 100),
+                       ::testing::Values(ModelKind::kGcn, ModelKind::kGin,
+                                         ModelKind::kSage),
+                       ::testing::Values(sim::Assignment::kHardwareDynamic,
+                                         sim::Assignment::kSoftwarePool),
+                       ::testing::Values(true, false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    StaticAssignment, GatherPullTest,
+    ::testing::Combine(::testing::Values(0, 2, 3), ::testing::Values(32, 7),
+                       ::testing::Values(ModelKind::kGcn, ModelKind::kSage),
+                       ::testing::Values(sim::Assignment::kStaticChunk),
+                       ::testing::Values(true)));
+
+// ---------------------------------------------------------------------------
+// SubwarpPull at every lanes-per-vertex width (Table 2's implementations).
+// ---------------------------------------------------------------------------
+
+using SubwarpParam = std::tuple<int /*graph*/, int /*f*/, ModelKind, int /*lpv*/>;
+
+class SubwarpTest : public ::testing::TestWithParam<SubwarpParam> {};
+
+TEST_P(SubwarpTest, MatchesReference) {
+  const auto [graph_id, f, kind, lpv] = GetParam();
+  ConvHarness hx(graph_id, f);
+  Rng rng(2);
+  const ConvSpec spec = ConvSpec::make(kind, f, rng);
+  SubwarpPullKernel k(hx.dg, hx.dfeat, hx.dout, f, {kind, spec.gin_eps}, lpv);
+  hx.dev.launch(k, {});
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4))
+      << "lpv=" << lpv << " max diff "
+      << tensor::max_abs_diff(hx.out(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SubwarpTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(8, 32, 48),
+                       ::testing::Values(ModelKind::kGcn, ModelKind::kGin,
+                                         ModelKind::kSage),
+                       ::testing::Values(1, 2, 8, 16, 32)));
+
+TEST(SubwarpPull, OneThreadHasMoreSectorsPerRequestThanHalfWarp) {
+  // The Table 2 mechanism: lanes-per-vertex 1 gathers from 32 different
+  // rows per request; 16 lanes per vertex gathers mostly-contiguous spans.
+  // A regular graph keeps every lane active so the comparison isolates
+  // coalescing from divergence.
+  auto sectors_per_request = [](int lpv) {
+    ConvHarness hx(5, 64);
+    SubwarpPullKernel k(hx.dg, hx.dfeat, hx.dout, 64,
+                        {ModelKind::kGin, 0.1f}, lpv);
+    hx.dev.launch(k, {});
+    const sim::Metrics m = hx.dev.metrics();
+    return m.sectors_per_request;
+  };
+  EXPECT_GT(sectors_per_request(1), 2.0 * sectors_per_request(16));
+}
+
+// ---------------------------------------------------------------------------
+// Edge-weighted convolution (Eq. 1's per-edge feature extension).
+// ---------------------------------------------------------------------------
+
+class EdgeWeightedTest
+    : public ::testing::TestWithParam<std::tuple<ModelKind, bool>> {};
+
+TEST_P(EdgeWeightedTest, GatherPullMatchesWeightedReference) {
+  const auto [kind, cache] = GetParam();
+  ConvHarness hx(0, 24);
+  Rng rng(17);
+  ConvSpec spec;
+  spec.kind = kind;
+  spec.edge_weights.resize(static_cast<std::size_t>(hx.dg.m));
+  for (auto& w : spec.edge_weights) w = rng.next_float() * 2.0f;
+  const auto dew = hx.dev.upload<float>(spec.edge_weights);
+  GatherPullKernel k(hx.dg, hx.dfeat, hx.dout, 24, {kind, spec.gin_eps},
+                     cache, dew);
+  hx.dev.launch(k, {});
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4))
+      << "max diff " << tensor::max_abs_diff(hx.out(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EdgeWeightedTest,
+    ::testing::Combine(::testing::Values(ModelKind::kGcn, ModelKind::kGin,
+                                         ModelKind::kSage),
+                       ::testing::Values(true, false)));
+
+TEST(EdgeWeighted, UnitWeightsMatchUnweighted) {
+  ConvHarness hx(0, 16);
+  ConvSpec weighted;
+  weighted.kind = ModelKind::kGin;
+  weighted.edge_weights.assign(static_cast<std::size_t>(hx.dg.m), 1.0f);
+  ConvSpec plain;
+  plain.kind = ModelKind::kGin;
+  EXPECT_TRUE(tensor::allclose(models::reference_conv(hx.g, hx.h, weighted),
+                               models::reference_conv(hx.g, hx.h, plain)));
+}
+
+TEST(EdgeWeighted, ReferenceRejectsBadSpecs) {
+  ConvHarness hx(2, 8);
+  ConvSpec spec;
+  spec.kind = ModelKind::kGcn;
+  spec.edge_weights = {1.0f};  // wrong size
+  EXPECT_THROW(models::reference_conv(hx.g, hx.h, spec), tlp::CheckError);
+  Rng rng(18);
+  ConvSpec gat = ConvSpec::make(ModelKind::kGat, 8, rng);
+  gat.edge_weights.assign(static_cast<std::size_t>(hx.g.num_edges()), 1.0f);
+  EXPECT_THROW(models::reference_conv(hx.g, hx.h, gat), tlp::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// SpMM variants.
+// ---------------------------------------------------------------------------
+
+TEST(Spmm, SumMatchesGinWithoutSelf) {
+  ConvHarness hx(0, 32);
+  SpmmKernel k(hx.dg, hx.dfeat, hx.dout, 32, SpmmKernel::Weighting::kSum);
+  hx.dev.launch(k, {});
+  // Reference: GIN minus its self term == plain neighbor sum.
+  ConvSpec spec;
+  spec.kind = ModelKind::kGin;
+  spec.gin_eps = -1.0f;  // (1 + eps) == 0 removes the self term
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4));
+}
+
+TEST(Spmm, MeanMatchesSage) {
+  for (const bool cache : {true, false}) {
+    ConvHarness hx(0, 20);
+    SpmmKernel k(hx.dg, hx.dfeat, hx.dout, 20, SpmmKernel::Weighting::kMean,
+                 {}, cache);
+    hx.dev.launch(k, {});
+    ConvSpec spec;
+    spec.kind = ModelKind::kSage;
+    const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+    EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4));
+  }
+}
+
+TEST(Spmm, GcnNormPairPlusSelfMatchesGcn) {
+  ConvHarness hx(3, 32);
+  SpmmKernel k(hx.dg, hx.dfeat, hx.dout, 32,
+               SpmmKernel::Weighting::kGcnNormPair);
+  hx.dev.launch(k, {});
+  AddScaledSelfKernel self(hx.dfeat, hx.dout, 32,
+                           AddScaledSelfKernel::Mode::kNormSquared, hx.dg);
+  hx.dev.launch(self, {});
+  ConvSpec spec;
+  spec.kind = ModelKind::kGcn;
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4));
+}
+
+TEST(Spmm, EdgeArrayWeights) {
+  // All edge weights = 2: result is twice the plain sum.
+  ConvHarness hx(0, 16);
+  std::vector<float> w(static_cast<std::size_t>(hx.dg.m), 2.0f);
+  const auto dw = hx.dev.upload<float>(w);
+  SpmmKernel k(hx.dg, hx.dfeat, hx.dout, 16, SpmmKernel::Weighting::kEdgeArray,
+               dw);
+  hx.dev.launch(k, {});
+  ConvSpec spec;
+  spec.kind = ModelKind::kGin;
+  spec.gin_eps = -1.0f;
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  Tensor doubled = ref;
+  for (auto& v : doubled.flat()) v *= 2.0f;
+  EXPECT_TRUE(tensor::allclose(hx.out(), doubled, 1e-4, 1e-4));
+}
+
+// ---------------------------------------------------------------------------
+// Fused GAT and the 3-kernel GAT path.
+// ---------------------------------------------------------------------------
+
+class GatTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GatTest, FusedMatchesReference) {
+  const auto [graph_id, f] = GetParam();
+  ConvHarness hx(graph_id, f);
+  Rng rng(3);
+  const ConvSpec spec = ConvSpec::make(ModelKind::kGat, f, rng);
+  const models::GatHalves halves = models::gat_halves(hx.h, spec.gat);
+  const auto dsh = hx.dev.upload<float>(halves.src);
+  const auto ddh = hx.dev.upload<float>(halves.dst);
+  FusedGatKernel k(hx.dg, hx.dfeat, dsh, ddh, hx.dout, f,
+                   spec.gat.leaky_slope);
+  hx.dev.launch(k, {});
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-3, 1e-4))
+      << "max diff " << tensor::max_abs_diff(hx.out(), ref);
+}
+
+TEST_P(GatTest, ThreeKernelMatchesFused) {
+  const auto [graph_id, f] = GetParam();
+  Rng rng(3);
+  const ConvSpec spec = ConvSpec::make(ModelKind::kGat, f, rng);
+
+  ConvHarness fused(graph_id, f);
+  {
+    const models::GatHalves halves = models::gat_halves(fused.h, spec.gat);
+    const auto dsh = fused.dev.upload<float>(halves.src);
+    const auto ddh = fused.dev.upload<float>(halves.dst);
+    FusedGatKernel k(fused.dg, fused.dfeat, dsh, ddh, fused.dout, f,
+                     spec.gat.leaky_slope);
+    fused.dev.launch(k, {});
+  }
+
+  ConvHarness three(graph_id, f);
+  {
+    const auto asrc = three.dev.upload<float>(spec.gat.attn_src);
+    const auto adst = three.dev.upload<float>(spec.gat.attn_dst);
+    auto sh = three.dev.alloc_zeroed<float>(three.dg.n);
+    auto dh = three.dev.alloc_zeroed<float>(three.dg.n);
+    auto alpha = three.dev.alloc_zeroed<float>(three.dg.m);
+    GatHalvesKernel halves(three.dfeat, asrc, adst, sh, dh, three.dg.n, f);
+    three.dev.launch(halves, {});
+    GatSoftmaxKernel softmax(three.dg, sh, dh, alpha, spec.gat.leaky_slope);
+    three.dev.launch(softmax, {});
+    SpmmKernel agg(three.dg, three.dfeat, three.dout, f,
+                   SpmmKernel::Weighting::kEdgeArray, alpha);
+    three.dev.launch(agg, {});
+  }
+  EXPECT_TRUE(tensor::allclose(three.out(), fused.out(), 1e-3, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GatTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 4),
+                                            ::testing::Values(8, 32, 40)));
+
+// ---------------------------------------------------------------------------
+// Edge-centric aggregation + epilogues.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCentric, GcnWithSelfMatchesReference) {
+  ConvHarness hx(0, 32);
+  const DeviceCoo coo = upload_coo(hx.dev, hx.g);
+  EdgeCentricAggKernel agg(coo, hx.dg.norm, hx.dfeat, hx.dout, 32,
+                           {ModelKind::kGcn, 0.0f});
+  hx.dev.launch(agg, {});
+  AddScaledSelfKernel self(hx.dfeat, hx.dout, 32,
+                           AddScaledSelfKernel::Mode::kNormSquared, hx.dg);
+  hx.dev.launch(self, {});
+  ConvSpec spec;
+  spec.kind = ModelKind::kGcn;
+  const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+  EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4));
+}
+
+TEST(EdgeCentric, ProducesAtomicTraffic) {
+  ConvHarness hx(0, 32);
+  const DeviceCoo coo = upload_coo(hx.dev, hx.g);
+  EdgeCentricAggKernel agg(coo, hx.dg.norm, hx.dfeat, hx.dout, 32,
+                           {ModelKind::kGin, 0.1f});
+  hx.dev.launch(agg, {});
+  EXPECT_GT(hx.dev.metrics().bytes_atomic, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// GNNAdvisor neighbor groups.
+// ---------------------------------------------------------------------------
+
+TEST(AdvisorGroups, BuildCoversEveryEdgeOnce) {
+  const Csr g = make_graph(0);
+  const NeighborGroups groups = build_neighbor_groups(g, 8);
+  std::int64_t covered = 0;
+  for (std::size_t i = 0; i < groups.vertex.size(); ++i) {
+    EXPECT_LE(groups.len[i], 8);
+    EXPECT_GT(groups.len[i], 0);
+    covered += groups.len[i];
+  }
+  EXPECT_EQ(covered, g.num_edges());
+}
+
+TEST(AdvisorGroups, KernelMatchesReference) {
+  for (const int gsize : {4, 16, 64}) {
+    ConvHarness hx(0, 32);
+    const NeighborGroups groups = build_neighbor_groups(hx.g, gsize);
+    const DeviceGroups dgroups = upload_groups(hx.dev, groups);
+    AdvisorGroupKernel agg(hx.dg, dgroups, hx.dfeat, hx.dout, 32,
+                           {ModelKind::kGcn, 0.0f});
+    hx.dev.launch(agg, {});
+    AddScaledSelfKernel self(hx.dfeat, hx.dout, 32,
+                             AddScaledSelfKernel::Mode::kNormSquared, hx.dg);
+    hx.dev.launch(self, {});
+    ConvSpec spec;
+    spec.kind = ModelKind::kGcn;
+    const Tensor ref = models::reference_conv(hx.g, hx.h, spec);
+    EXPECT_TRUE(tensor::allclose(hx.out(), ref, 1e-4, 1e-4)) << "gsize " << gsize;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ApplyVertex / ApplyEdge building blocks.
+// ---------------------------------------------------------------------------
+
+TEST(ApplyVertex, FillAndCopy) {
+  ConvHarness hx(2, 16);
+  FillRowsKernel fill(hx.dout, hx.dg.n, 16, 3.5f);
+  hx.dev.launch(fill, {});
+  const Tensor filled = hx.out();  // named: .flat() must not dangle
+  for (const float v : filled.flat()) EXPECT_FLOAT_EQ(v, 3.5f);
+  CopyRowsKernel copy(hx.dfeat, hx.dout, hx.dg.n, 16);
+  hx.dev.launch(copy, {});
+  EXPECT_TRUE(tensor::allclose(hx.out(), hx.h));
+}
+
+TEST(ApplyVertex, VertexDot) {
+  ConvHarness hx(2, 24);
+  std::vector<float> w(24);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = 0.1f * static_cast<float>(i);
+  const auto dw = hx.dev.upload<float>(w);
+  auto dots = hx.dev.alloc_zeroed<float>(hx.dg.n);
+  VertexDotKernel k(hx.dfeat, dw, dots, hx.dg.n, 24);
+  hx.dev.launch(k, {});
+  const auto host = hx.dev.download(dots);
+  for (graph::VertexId v = 0; v < hx.g.num_vertices(); ++v) {
+    float expect = 0;
+    for (std::int64_t j = 0; j < 24; ++j)
+      expect += hx.h.at(v, j) * w[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(host[static_cast<std::size_t>(v)], expect, 1e-4);
+  }
+}
+
+TEST(ApplyVertex, SegmentReduceMaxAndSum) {
+  ConvHarness hx(0, 4);
+  std::vector<float> ev(static_cast<std::size_t>(hx.dg.m));
+  Rng rng(9);
+  for (auto& v : ev) v = rng.next_float();
+  const auto dev_ev = hx.dev.upload<float>(ev);
+  auto out_max = hx.dev.alloc_zeroed<float>(hx.dg.n);
+  auto out_sum = hx.dev.alloc_zeroed<float>(hx.dg.n);
+  SegmentReduceKernel km(hx.dg, dev_ev, out_max, SegmentReduceKernel::Op::kMax);
+  hx.dev.launch(km, {});
+  SegmentReduceKernel ks(hx.dg, dev_ev, out_sum, SegmentReduceKernel::Op::kSum);
+  hx.dev.launch(ks, {});
+  const auto hmax = hx.dev.download(out_max);
+  const auto hsum = hx.dev.download(out_sum);
+  for (graph::VertexId v = 0; v < hx.g.num_vertices(); ++v) {
+    const auto base = hx.g.indptr()[static_cast<std::size_t>(v)];
+    const auto deg = hx.g.degree(v);
+    if (deg == 0) continue;
+    float mx = ev[static_cast<std::size_t>(base)];
+    float sum = 0;
+    for (graph::EdgeOffset e = 0; e < deg; ++e) {
+      mx = std::max(mx, ev[static_cast<std::size_t>(base + e)]);
+      sum += ev[static_cast<std::size_t>(base + e)];
+    }
+    EXPECT_NEAR(hmax[static_cast<std::size_t>(v)], mx, 1e-5);
+    EXPECT_NEAR(hsum[static_cast<std::size_t>(v)], sum, 1e-3);
+  }
+}
+
+TEST(ApplyEdge, LogitsMatchReference) {
+  ConvHarness hx(0, 16);
+  Rng rng(4);
+  const ConvSpec spec = ConvSpec::make(ModelKind::kGat, 16, rng);
+  const auto logits_ref =
+      models::reference_gat_logits(hx.g, hx.h, spec.gat);
+
+  const DeviceCoo coo = upload_coo(hx.dev, hx.g);
+  const auto asrc = hx.dev.upload<float>(spec.gat.attn_src);
+  const auto adst = hx.dev.upload<float>(spec.gat.attn_dst);
+  auto sh = hx.dev.alloc_zeroed<float>(hx.dg.n);
+  auto dh = hx.dev.alloc_zeroed<float>(hx.dg.n);
+  GatHalvesKernel halves(hx.dfeat, asrc, adst, sh, dh, hx.dg.n, 16);
+  hx.dev.launch(halves, {});
+  auto logit = hx.dev.alloc_zeroed<float>(hx.dg.m);
+  EdgeLogitKernel k(coo, sh, dh, logit, spec.gat.leaky_slope);
+  hx.dev.launch(k, {});
+  const auto host = hx.dev.download(logit);
+  for (std::size_t e = 0; e < logits_ref.size(); ++e)
+    EXPECT_NEAR(host[e], logits_ref[e], 1e-4);
+}
+
+TEST(ApplyEdge, UMulEMaterialize) {
+  ConvHarness hx(2, 8);
+  const DeviceCoo coo = upload_coo(hx.dev, hx.g);
+  std::vector<float> w(static_cast<std::size_t>(hx.dg.m), 3.0f);
+  const auto dw = hx.dev.upload<float>(w);
+  auto msg = hx.dev.alloc_zeroed<float>(hx.dg.m * 8);
+  UMulEMaterializeKernel k(coo, dw, hx.dfeat, msg, 8);
+  hx.dev.launch(k, {});
+  const auto host = hx.dev.download(msg);
+  // Edge e of the path graph is (e) -> (e+1): msg[e] = 3 * h[e].
+  for (std::int64_t e = 0; e < hx.dg.m; ++e) {
+    for (std::int64_t j = 0; j < 8; ++j)
+      EXPECT_NEAR(host[static_cast<std::size_t>(e * 8 + j)],
+                  3.0f * hx.h.at(e, j), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace tlp::kernels

@@ -1,0 +1,153 @@
+// Hand-computed checks of the CPU reference convolutions — everything else
+// in the repo is validated against these, so they get their own scrutiny.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+#include "models/reference.hpp"
+
+namespace tlp::models {
+namespace {
+
+using graph::build_csr;
+using graph::Csr;
+using tensor::Tensor;
+
+// 1 -> 0, 2 -> 0 (vertex 0 aggregates from 1 and 2).
+Csr fan_in() { return build_csr(3, {{1, 0}, {2, 0}}); }
+
+Tensor unit_features() {
+  Tensor h(3, 2);
+  h.at(0, 0) = 1.0f;
+  h.at(1, 0) = 2.0f;
+  h.at(2, 0) = 4.0f;
+  h.at(0, 1) = -1.0f;
+  h.at(1, 1) = 0.5f;
+  h.at(2, 1) = 0.25f;
+  return h;
+}
+
+TEST(Reference, GcnHandComputed) {
+  const Csr g = fan_in();
+  const Tensor h = unit_features();
+  ConvSpec spec;
+  spec.kind = ModelKind::kGcn;
+  const Tensor out = reference_conv(g, h, spec);
+  // norm(0) = 1/sqrt(3), norm(1) = norm(2) = 1 (degree 0 + 1).
+  const float n0 = 1.0f / std::sqrt(3.0f);
+  // out[0] = h0*n0^2 + h1*1*n0 + h2*1*n0
+  EXPECT_NEAR(out.at(0, 0), 1.0f * n0 * n0 + (2.0f + 4.0f) * n0, 1e-5);
+  EXPECT_NEAR(out.at(0, 1), -1.0f * n0 * n0 + 0.75f * n0, 1e-5);
+  // Vertices 1 and 2 have no in-edges: only the self term.
+  EXPECT_NEAR(out.at(1, 0), 2.0f, 1e-5);
+  EXPECT_NEAR(out.at(2, 1), 0.25f, 1e-5);
+}
+
+TEST(Reference, GinHandComputed) {
+  const Csr g = fan_in();
+  const Tensor h = unit_features();
+  ConvSpec spec;
+  spec.kind = ModelKind::kGin;
+  spec.gin_eps = 0.5f;
+  const Tensor out = reference_conv(g, h, spec);
+  EXPECT_NEAR(out.at(0, 0), 1.5f * 1.0f + 2.0f + 4.0f, 1e-5);
+  EXPECT_NEAR(out.at(1, 0), 1.5f * 2.0f, 1e-5);
+}
+
+TEST(Reference, SageMeanHandComputed) {
+  const Csr g = fan_in();
+  const Tensor h = unit_features();
+  ConvSpec spec;
+  spec.kind = ModelKind::kSage;
+  const Tensor out = reference_conv(g, h, spec);
+  EXPECT_NEAR(out.at(0, 0), 3.0f, 1e-5);   // mean(2, 4)
+  EXPECT_NEAR(out.at(0, 1), 0.375f, 1e-5); // mean(0.5, 0.25)
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);     // no in-neighbors
+}
+
+TEST(Reference, GatSingleNeighborIsIdentity) {
+  // With exactly one in-neighbor softmax weight is 1: out = h[neighbor].
+  const Csr g = build_csr(2, {{0, 1}});
+  Rng rng(1);
+  const Tensor h = Tensor::random(2, 8, rng);
+  const ConvSpec spec = ConvSpec::make(ModelKind::kGat, 8, rng);
+  const Tensor out = reference_conv(g, h, spec);
+  for (std::int64_t j = 0; j < 8; ++j)
+    EXPECT_NEAR(out.at(1, j), h.at(0, j), 1e-5);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);  // vertex 0 has no in-edges
+}
+
+TEST(Reference, GatWeightsSumToOne) {
+  // out[v] is a convex combination of neighbor features: with all-ones
+  // features the output must be exactly ones.
+  Rng rng(2);
+  const Csr g = build_csr(4, {{0, 3}, {1, 3}, {2, 3}});
+  Tensor h(4, 4);
+  h.fill(1.0f);
+  const ConvSpec spec = ConvSpec::make(ModelKind::kGat, 4, rng);
+  const Tensor out = reference_conv(g, h, spec);
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_NEAR(out.at(3, j), 1.0f, 1e-5);
+}
+
+TEST(Reference, GatLogitsMatchManual) {
+  const Csr g = build_csr(2, {{0, 1}});
+  Tensor h(2, 2);
+  h.at(0, 0) = 1.0f;
+  h.at(0, 1) = 2.0f;
+  h.at(1, 0) = 3.0f;
+  h.at(1, 1) = 4.0f;
+  GatParams gat;
+  gat.attn_src = {0.5f, 0.5f};
+  gat.attn_dst = {1.0f, -1.0f};
+  gat.leaky_slope = 0.2f;
+  const auto logits = reference_gat_logits(g, h, gat);
+  ASSERT_EQ(logits.size(), 1u);
+  // src half = 0.5*1 + 0.5*2 = 1.5; dst half = 3 - 4 = -1; sum = 0.5 (>= 0).
+  EXPECT_NEAR(logits[0], 0.5f, 1e-6);
+}
+
+TEST(Reference, GatLogitsLeakyOnNegative) {
+  const Csr g = build_csr(2, {{0, 1}});
+  Tensor h(2, 1);
+  h.at(0, 0) = -10.0f;
+  h.at(1, 0) = 0.0f;
+  GatParams gat;
+  gat.attn_src = {1.0f};
+  gat.attn_dst = {1.0f};
+  gat.leaky_slope = 0.25f;
+  const auto logits = reference_gat_logits(g, h, gat);
+  EXPECT_NEAR(logits[0], -2.5f, 1e-6);  // leaky(-10) = -2.5
+}
+
+TEST(Reference, GcnNormValues) {
+  const auto norm = gcn_norm(fan_in());
+  EXPECT_NEAR(norm[0], 1.0f / std::sqrt(3.0f), 1e-6);
+  EXPECT_NEAR(norm[1], 1.0f, 1e-6);
+}
+
+TEST(Reference, RejectsShapeMismatch) {
+  const Csr g = fan_in();
+  ConvSpec spec;
+  EXPECT_THROW(reference_conv(g, Tensor(2, 4), spec), tlp::CheckError);
+}
+
+TEST(Reference, EmptyGraphAllModels) {
+  const Csr g = build_csr(4, {});
+  Rng rng(3);
+  const Tensor h = Tensor::random(4, 4, rng);
+  for (const ModelKind kind :
+       {ModelKind::kGcn, ModelKind::kGin, ModelKind::kSage, ModelKind::kGat}) {
+    const ConvSpec spec = ConvSpec::make(kind, 4, rng);
+    const Tensor out = reference_conv(g, h, spec);
+    EXPECT_EQ(out.rows(), 4);
+    // Sage/GAT: zero rows. GCN/GIN: self term only.
+    if (kind == ModelKind::kSage || kind == ModelKind::kGat) {
+      for (const float v : out.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tlp::models

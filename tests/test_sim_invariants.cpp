@@ -1,0 +1,181 @@
+// Property tests on simulator invariants — randomized sweeps asserting the
+// relationships the cost model must preserve regardless of workload
+// (DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "kernels/conv_common.hpp"
+#include "kernels/gather_pull.hpp"
+#include "models/model.hpp"
+#include "systems/system.hpp"
+#include "systems/tlpgnn_system.hpp"
+
+namespace tlp {
+namespace {
+
+using kernels::DeviceGraph;
+using models::ModelKind;
+
+struct Workload {
+  sim::Device dev;
+  graph::Csr g;
+  tensor::Tensor h;
+  DeviceGraph dg;
+  sim::DevPtr<float> dfeat, dout;
+  std::int64_t f;
+
+  Workload(std::uint64_t seed, std::int64_t feature) : f(feature) {
+    Rng rng(seed);
+    g = graph::power_law(400, 3000, 2.0 + rng.next_double(), rng);
+    h = tensor::Tensor::random(g.num_vertices(), f, rng);
+    dg = kernels::upload_graph(dev, g);
+    dfeat = kernels::upload_features(dev, h);
+    dout = dev.alloc_zeroed<float>(dg.n * f);
+  }
+
+  sim::Metrics run(sim::Assignment a = sim::Assignment::kHardwareDynamic) {
+    kernels::GatherPullKernel k(dg, dfeat, dout, f, {ModelKind::kGin, 0.1f});
+    sim::LaunchConfig cfg;
+    cfg.assignment = a;
+    dev.launch(k, cfg);
+    return dev.metrics();
+  }
+};
+
+class InvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InvariantSweep, MetricsWithinPhysicalBounds) {
+  Workload w(GetParam(), 32);
+  const sim::Metrics m = w.run();
+  EXPECT_GE(m.sectors_per_request, 1.0);
+  EXPECT_LE(m.sectors_per_request, 32.0);
+  EXPECT_GE(m.l1_hit_rate, 0.0);
+  EXPECT_LE(m.l1_hit_rate, 1.0);
+  EXPECT_GT(m.achieved_occupancy, 0.0);
+  EXPECT_LE(m.achieved_occupancy, 1.0);
+  EXPECT_GT(m.sm_utilization, 0.0);
+  EXPECT_LE(m.sm_utilization, 1.0);
+  EXPECT_GE(m.scoreboard_stall, 0.0);
+}
+
+TEST_P(InvariantSweep, TrafficAtLeastCompulsory) {
+  Workload w(GetParam(), 32);
+  const sim::Metrics m = w.run();
+  // Every edge gathers one 128 B feature row at least once; the output is
+  // stored exactly once. Loads can be lower than E*f*4 only through caching,
+  // never lower than one cold pass over the feature matrix.
+  const double feature_bytes = static_cast<double>(w.g.num_vertices()) * w.f * 4;
+  EXPECT_GE(m.bytes_load + 1.0, feature_bytes * 0.5);
+  const double store_bytes = static_cast<double>(w.g.num_vertices()) * w.f * 4;
+  EXPECT_GE(m.bytes_store, store_bytes);
+  // DRAM traffic never exceeds L2-side traffic.
+  EXPECT_LE(m.bytes_dram, m.bytes_load + m.bytes_store + m.bytes_atomic + 1.0);
+}
+
+TEST_P(InvariantSweep, GpuTimeRespectsBandwidthFloor) {
+  Workload w(GetParam(), 64);
+  const sim::Metrics m = w.run();
+  const auto& spec = w.dev.spec();
+  const double dram_floor_ms =
+      m.bytes_dram / spec.dram_bytes_per_cycle / (spec.clock_ghz * 1e6);
+  EXPECT_GE(m.gpu_time_ms * 1.0001, dram_floor_ms);
+}
+
+TEST_P(InvariantSweep, AssignmentChoiceDoesNotChangeTrafficMuch) {
+  // Scheduling policy affects *time*, not the compulsory work. Cache hit
+  // rates shift slightly with execution order, so allow 25% slack.
+  Workload w1(GetParam(), 32), w2(GetParam(), 32);
+  const sim::Metrics hw = w1.run(sim::Assignment::kHardwareDynamic);
+  const sim::Metrics sw = w2.run(sim::Assignment::kSoftwarePool);
+  EXPECT_NEAR(sw.bytes_store, hw.bytes_store, hw.bytes_store * 0.01);
+  EXPECT_NEAR(sw.bytes_load, hw.bytes_load, hw.bytes_load * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Invariants, MoreWorkMoreTime) {
+  // Elapsed time is monotone in feature size on the same graph.
+  double prev = 0.0;
+  for (const std::int64_t f : {16, 64, 256}) {
+    Workload w(99, f);
+    const sim::Metrics m = w.run();
+    EXPECT_GT(m.gpu_time_ms, prev);
+    prev = m.gpu_time_ms;
+  }
+}
+
+TEST(Invariants, BiggerGraphMoreTime) {
+  auto time_for = [](graph::EdgeOffset edges) {
+    Rng rng(5);
+    sim::Device dev;
+    const graph::Csr g = graph::power_law(500, edges, 2.2, rng);
+    const tensor::Tensor h = tensor::Tensor::random(g.num_vertices(), 32, rng);
+    const DeviceGraph dg = kernels::upload_graph(dev, g);
+    const auto dfeat = kernels::upload_features(dev, h);
+    auto dout = dev.alloc_zeroed<float>(dg.n * 32);
+    kernels::GatherPullKernel k(dg, dfeat, dout, 32, {ModelKind::kGin, 0.1f});
+    dev.launch(k, {});
+    return dev.gpu_time_ms();
+  };
+  EXPECT_GT(time_for(20'000), time_for(2'000));
+}
+
+TEST(Invariants, RegisterCachingNeverSlower) {
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    Workload cached(seed, 32), uncached(seed, 32);
+    kernels::GatherPullKernel kc(cached.dg, cached.dfeat, cached.dout, 32,
+                                 {ModelKind::kGin, 0.1f}, true);
+    cached.dev.launch(kc, {});
+    kernels::GatherPullKernel ku(uncached.dg, uncached.dfeat, uncached.dout,
+                                 32, {ModelKind::kGin, 0.1f}, false);
+    uncached.dev.launch(ku, {});
+    EXPECT_LT(cached.dev.gpu_time_ms(), uncached.dev.gpu_time_ms());
+    // The uncached variant generates strictly more store traffic (one RMW
+    // per edge instead of one store per vertex).
+    EXPECT_GT(uncached.dev.metrics().bytes_store,
+              cached.dev.metrics().bytes_store);
+  }
+}
+
+TEST(Invariants, LaunchCountMatchesProfile) {
+  Workload w(21, 16);
+  (void)w.run();
+  (void)w.run();
+  EXPECT_EQ(w.dev.metrics().kernel_launches, 2);
+  w.dev.reset_profile();
+  EXPECT_EQ(w.dev.metrics().kernel_launches, 0);
+}
+
+TEST(Invariants, SkewedGraphBenefitsFromDynamicAssignment) {
+  // On a highly skewed graph with a constrained grid, the software pool must
+  // beat static chunking (the §5 motivation). Degree-sorting the vertex ids
+  // clusters the hubs into a few static chunks — the worst case static
+  // assignment cannot adapt to.
+  Rng rng(33);
+  sim::Device dev_static, dev_pool;
+  const graph::Csr skewed = graph::power_law(3000, 60'000, 2.05, rng);
+  const graph::Csr g =
+      graph::apply_permutation(skewed, graph::degree_desc_order(skewed));
+  const tensor::Tensor h = tensor::Tensor::random(g.num_vertices(), 32, rng);
+
+  auto run = [&](sim::Device& dev, sim::Assignment a) {
+    const DeviceGraph dg = kernels::upload_graph(dev, g);
+    const auto dfeat = kernels::upload_features(dev, h);
+    auto dout = dev.alloc_zeroed<float>(dg.n * 32);
+    kernels::GatherPullKernel k(dg, dfeat, dout, 32, {ModelKind::kGin, 0.1f});
+    sim::LaunchConfig cfg;
+    cfg.assignment = a;
+    cfg.grid_blocks = 20;
+    cfg.pool_step = 8;
+    dev.launch(k, cfg);
+    return dev.gpu_time_ms();
+  };
+  EXPECT_LT(run(dev_pool, sim::Assignment::kSoftwarePool),
+            run(dev_static, sim::Assignment::kStaticChunk));
+}
+
+}  // namespace
+}  // namespace tlp
