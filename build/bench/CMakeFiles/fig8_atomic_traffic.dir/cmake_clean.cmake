@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_atomic_traffic.dir/fig8_atomic_traffic.cpp.o"
+  "CMakeFiles/fig8_atomic_traffic.dir/fig8_atomic_traffic.cpp.o.d"
+  "fig8_atomic_traffic"
+  "fig8_atomic_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_atomic_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

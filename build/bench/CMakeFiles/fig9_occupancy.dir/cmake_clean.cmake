@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_occupancy.dir/fig9_occupancy.cpp.o"
+  "CMakeFiles/fig9_occupancy.dir/fig9_occupancy.cpp.o.d"
+  "fig9_occupancy"
+  "fig9_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_atomics.dir/table1_atomics.cpp.o"
+  "CMakeFiles/table1_atomics.dir/table1_atomics.cpp.o.d"
+  "table1_atomics"
+  "table1_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_coalescing.dir/table2_coalescing.cpp.o"
+  "CMakeFiles/table2_coalescing.dir/table2_coalescing.cpp.o.d"
+  "table2_coalescing"
+  "table2_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fusion.dir/table3_fusion.cpp.o"
+  "CMakeFiles/table3_fusion.dir/table3_fusion.cpp.o.d"
+  "table3_fusion"
+  "table3_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_main.dir/table5_main.cpp.o"
+  "CMakeFiles/table5_main.dir/table5_main.cpp.o.d"
+  "table5_main"
+  "table5_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

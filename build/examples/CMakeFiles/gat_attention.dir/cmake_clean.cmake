@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gat_attention.dir/gat_attention.cpp.o"
+  "CMakeFiles/gat_attention.dir/gat_attention.cpp.o.d"
+  "gat_attention"
+  "gat_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gat_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_partition.dir/multi_gpu_partition.cpp.o"
+  "CMakeFiles/multi_gpu_partition.dir/multi_gpu_partition.cpp.o.d"
+  "multi_gpu_partition"
+  "multi_gpu_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

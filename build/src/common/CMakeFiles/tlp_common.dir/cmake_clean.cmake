@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_common.dir/cli.cpp.o"
+  "CMakeFiles/tlp_common.dir/cli.cpp.o.d"
+  "CMakeFiles/tlp_common.dir/format.cpp.o"
+  "CMakeFiles/tlp_common.dir/format.cpp.o.d"
+  "CMakeFiles/tlp_common.dir/rng.cpp.o"
+  "CMakeFiles/tlp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tlp_common.dir/stats.cpp.o"
+  "CMakeFiles/tlp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tlp_common.dir/table.cpp.o"
+  "CMakeFiles/tlp_common.dir/table.cpp.o.d"
+  "libtlp_common.a"
+  "libtlp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

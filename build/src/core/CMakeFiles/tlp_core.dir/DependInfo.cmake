@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/tlp_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/gnn_model.cpp" "src/core/CMakeFiles/tlp_core.dir/gnn_model.cpp.o" "gcc" "src/core/CMakeFiles/tlp_core.dir/gnn_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/tlp_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/tlp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tlp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tlp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

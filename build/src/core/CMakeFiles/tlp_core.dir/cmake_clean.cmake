@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_core.dir/engine.cpp.o"
+  "CMakeFiles/tlp_core.dir/engine.cpp.o.d"
+  "CMakeFiles/tlp_core.dir/gnn_model.cpp.o"
+  "CMakeFiles/tlp_core.dir/gnn_model.cpp.o.d"
+  "libtlp_core.a"
+  "libtlp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_graph.dir/builder.cpp.o"
+  "CMakeFiles/tlp_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/csr.cpp.o"
+  "CMakeFiles/tlp_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/datasets.cpp.o"
+  "CMakeFiles/tlp_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/generators.cpp.o"
+  "CMakeFiles/tlp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/io.cpp.o"
+  "CMakeFiles/tlp_graph.dir/io.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/partition.cpp.o"
+  "CMakeFiles/tlp_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/reorder.cpp.o"
+  "CMakeFiles/tlp_graph.dir/reorder.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/stats.cpp.o"
+  "CMakeFiles/tlp_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/tlp_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/tlp_graph.dir/subgraph.cpp.o.d"
+  "libtlp_graph.a"
+  "libtlp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/advisor_groups.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/advisor_groups.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/advisor_groups.cpp.o.d"
+  "/root/repo/src/kernels/apply_edge.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/apply_edge.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/apply_edge.cpp.o.d"
+  "/root/repo/src/kernels/apply_vertex.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/apply_vertex.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/apply_vertex.cpp.o.d"
+  "/root/repo/src/kernels/conv_common.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/conv_common.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/conv_common.cpp.o.d"
+  "/root/repo/src/kernels/edge_centric.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/edge_centric.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/edge_centric.cpp.o.d"
+  "/root/repo/src/kernels/fused_gat.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/fused_gat.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/fused_gat.cpp.o.d"
+  "/root/repo/src/kernels/gather_pull.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/gather_pull.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/gather_pull.cpp.o.d"
+  "/root/repo/src/kernels/push_atomic.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/push_atomic.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/push_atomic.cpp.o.d"
+  "/root/repo/src/kernels/spmm.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/spmm.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/spmm.cpp.o.d"
+  "/root/repo/src/kernels/subwarp_pull.cpp" "src/kernels/CMakeFiles/tlp_kernels.dir/subwarp_pull.cpp.o" "gcc" "src/kernels/CMakeFiles/tlp_kernels.dir/subwarp_pull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tlp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tlp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tlp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tlp_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

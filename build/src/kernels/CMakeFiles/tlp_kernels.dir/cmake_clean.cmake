@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_kernels.dir/advisor_groups.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/advisor_groups.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/apply_edge.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/apply_edge.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/apply_vertex.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/apply_vertex.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/conv_common.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/conv_common.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/edge_centric.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/edge_centric.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/fused_gat.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/fused_gat.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/gather_pull.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/gather_pull.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/push_atomic.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/push_atomic.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/spmm.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/spmm.cpp.o.d"
+  "CMakeFiles/tlp_kernels.dir/subwarp_pull.cpp.o"
+  "CMakeFiles/tlp_kernels.dir/subwarp_pull.cpp.o.d"
+  "libtlp_kernels.a"
+  "libtlp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlp_kernels.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/model.cpp" "src/models/CMakeFiles/tlp_models.dir/model.cpp.o" "gcc" "src/models/CMakeFiles/tlp_models.dir/model.cpp.o.d"
+  "/root/repo/src/models/reference.cpp" "src/models/CMakeFiles/tlp_models.dir/reference.cpp.o" "gcc" "src/models/CMakeFiles/tlp_models.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tlp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tlp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

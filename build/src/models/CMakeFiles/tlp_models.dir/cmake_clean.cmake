@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_models.dir/model.cpp.o"
+  "CMakeFiles/tlp_models.dir/model.cpp.o.d"
+  "CMakeFiles/tlp_models.dir/reference.cpp.o"
+  "CMakeFiles/tlp_models.dir/reference.cpp.o.d"
+  "libtlp_models.a"
+  "libtlp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/tlp_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/tlp_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/sim/CMakeFiles/tlp_sim.dir/counters.cpp.o" "gcc" "src/sim/CMakeFiles/tlp_sim.dir/counters.cpp.o.d"
+  "/root/repo/src/sim/device_memory.cpp" "src/sim/CMakeFiles/tlp_sim.dir/device_memory.cpp.o" "gcc" "src/sim/CMakeFiles/tlp_sim.dir/device_memory.cpp.o.d"
+  "/root/repo/src/sim/gpu_spec.cpp" "src/sim/CMakeFiles/tlp_sim.dir/gpu_spec.cpp.o" "gcc" "src/sim/CMakeFiles/tlp_sim.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/tlp_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/tlp_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/warp.cpp" "src/sim/CMakeFiles/tlp_sim.dir/warp.cpp.o" "gcc" "src/sim/CMakeFiles/tlp_sim.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tlp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_sim.dir/cache.cpp.o"
+  "CMakeFiles/tlp_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/tlp_sim.dir/counters.cpp.o"
+  "CMakeFiles/tlp_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/tlp_sim.dir/device_memory.cpp.o"
+  "CMakeFiles/tlp_sim.dir/device_memory.cpp.o.d"
+  "CMakeFiles/tlp_sim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/tlp_sim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/tlp_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/tlp_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tlp_sim.dir/warp.cpp.o"
+  "CMakeFiles/tlp_sim.dir/warp.cpp.o.d"
+  "libtlp_sim.a"
+  "libtlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_systems.dir/baseline_systems.cpp.o"
+  "CMakeFiles/tlp_systems.dir/baseline_systems.cpp.o.d"
+  "CMakeFiles/tlp_systems.dir/dgl_system.cpp.o"
+  "CMakeFiles/tlp_systems.dir/dgl_system.cpp.o.d"
+  "CMakeFiles/tlp_systems.dir/featgraph_system.cpp.o"
+  "CMakeFiles/tlp_systems.dir/featgraph_system.cpp.o.d"
+  "CMakeFiles/tlp_systems.dir/gnnadvisor_system.cpp.o"
+  "CMakeFiles/tlp_systems.dir/gnnadvisor_system.cpp.o.d"
+  "CMakeFiles/tlp_systems.dir/system.cpp.o"
+  "CMakeFiles/tlp_systems.dir/system.cpp.o.d"
+  "CMakeFiles/tlp_systems.dir/tlpgnn_system.cpp.o"
+  "CMakeFiles/tlp_systems.dir/tlpgnn_system.cpp.o.d"
+  "libtlp_systems.a"
+  "libtlp_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlp_tensor.dir/dense_ops.cpp.o"
+  "CMakeFiles/tlp_tensor.dir/dense_ops.cpp.o.d"
+  "CMakeFiles/tlp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tlp_tensor.dir/tensor.cpp.o.d"
+  "libtlp_tensor.a"
+  "libtlp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

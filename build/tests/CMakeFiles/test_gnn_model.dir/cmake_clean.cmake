@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn_model.dir/test_gnn_model.cpp.o"
+  "CMakeFiles/test_gnn_model.dir/test_gnn_model.cpp.o.d"
+  "test_gnn_model"
+  "test_gnn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_subgraph.dir/test_io_subgraph.cpp.o"
+  "CMakeFiles/test_io_subgraph.dir/test_io_subgraph.cpp.o.d"
+  "test_io_subgraph"
+  "test_io_subgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_subgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

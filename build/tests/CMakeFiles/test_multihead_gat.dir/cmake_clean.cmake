@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multihead_gat.dir/test_multihead_gat.cpp.o"
+  "CMakeFiles/test_multihead_gat.dir/test_multihead_gat.cpp.o.d"
+  "test_multihead_gat"
+  "test_multihead_gat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multihead_gat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

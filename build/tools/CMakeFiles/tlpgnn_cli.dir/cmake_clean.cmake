@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlpgnn_cli.dir/tlpgnn_cli.cpp.o"
+  "CMakeFiles/tlpgnn_cli.dir/tlpgnn_cli.cpp.o.d"
+  "tlpgnn_cli"
+  "tlpgnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlpgnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
