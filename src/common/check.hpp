@@ -27,6 +27,18 @@ namespace detail {
   throw CheckError(os.str());
 }
 
+/// Failure path of the TLP_CHECK_<cmp> family: formats both operand values
+/// so the message shows what was actually compared, not just the expression.
+template <class A, class B>
+[[noreturn]] void check_cmp_failed(const char* a_expr, const char* op,
+                                   const char* b_expr, const A& a, const B& b,
+                                   const char* file, int line) {
+  std::ostringstream os;
+  os << "CHECK failed: " << a_expr << ' ' << op << ' ' << b_expr << " ("
+     << +a << " vs " << +b << ") at " << file << ':' << line;
+  throw CheckError(os.str());
+}
+
 }  // namespace detail
 }  // namespace tlp
 
@@ -44,6 +56,26 @@ namespace detail {
                                   tlp_check_os_.str());              \
     }                                                                \
   } while (0)
+
+// Comparison checks that print both operand values on failure, e.g.
+//   TLP_CHECK_LT(index, size);   ->  "CHECK failed: index < size (7 vs 4) …"
+// Operands are evaluated exactly once. Always on, like TLP_CHECK.
+#define TLP_CHECK_CMP_(a, op, b)                                          \
+  do {                                                                    \
+    const auto& tlp_a_ = (a);                                             \
+    const auto& tlp_b_ = (b);                                             \
+    if (!(tlp_a_ op tlp_b_)) {                                            \
+      ::tlp::detail::check_cmp_failed(#a, #op, #b, tlp_a_, tlp_b_,        \
+                                      __FILE__, __LINE__);                \
+    }                                                                     \
+  } while (0)
+
+#define TLP_CHECK_EQ(a, b) TLP_CHECK_CMP_(a, ==, b)
+#define TLP_CHECK_NE(a, b) TLP_CHECK_CMP_(a, !=, b)
+#define TLP_CHECK_LT(a, b) TLP_CHECK_CMP_(a, <, b)
+#define TLP_CHECK_LE(a, b) TLP_CHECK_CMP_(a, <=, b)
+#define TLP_CHECK_GT(a, b) TLP_CHECK_CMP_(a, >, b)
+#define TLP_CHECK_GE(a, b) TLP_CHECK_CMP_(a, >=, b)
 
 #ifdef NDEBUG
 #define TLP_DCHECK(cond) \

@@ -1,11 +1,25 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+
+#include "systems/partitioned.hpp"
 #include "tensor/dense_ops.hpp"
 
 namespace tlp {
 
+namespace {
+
+sim::GpuSpec effective_spec(const EngineOptions& opts) {
+  sim::GpuSpec spec = opts.gpu;
+  if (opts.device_memory_bytes > 0) spec.memory_bytes = opts.device_memory_bytes;
+  return spec;
+}
+
+}  // namespace
+
 Engine::Engine(const EngineOptions& opts)
-    : opts_(opts), device_(std::make_unique<sim::Device>(opts.gpu)),
+    : opts_(opts),
+      device_(std::make_unique<sim::Device>(effective_spec(opts), opts.device)),
       system_(opts.tlpgnn) {}
 
 systems::RunResult Engine::conv(const graph::Csr& g,
@@ -14,9 +28,41 @@ systems::RunResult Engine::conv(const graph::Csr& g,
   TLP_CHECK_MSG(feat.rows() == g.num_vertices(),
                 "feature rows " << feat.rows() << " != vertices "
                                 << g.num_vertices());
-  systems::RunResult r = system_.run(*device_, g, feat, spec);
-  last_ = r;
-  return r;
+  try {
+    systems::RunResult r = system_.run(*device_, g, feat, spec);
+    last_ = r;
+    return r;
+  } catch (const OutOfMemory& oom) {
+    if (!opts_.degrade.enabled) throw;
+    systems::RunResult r = conv_degraded(g, feat, spec, oom);
+    last_ = r;
+    return r;
+  }
+}
+
+systems::RunResult Engine::conv_degraded(const graph::Csr& g,
+                                         const tensor::Tensor& feat,
+                                         const models::ConvSpec& spec,
+                                         const OutOfMemory& oom) {
+  // Bounded retries: double the part count each attempt so the per-part
+  // footprint shrinks geometrically. A part can never be smaller than one
+  // vertex, so cap the count at |V|.
+  if (g.num_vertices() < 2) throw oom;  // nothing left to split
+  int k = std::max(2, opts_.degrade.initial_partitions);
+  for (int attempt = 0; attempt < opts_.degrade.max_attempts; ++attempt) {
+    k = std::min<int>(k, g.num_vertices());
+    try {
+      systems::RunResult r =
+          systems::run_partitioned(system_, *device_, g, feat, spec, k);
+      r.degradation.retries = attempt;
+      r.degradation.reason = oom.what();
+      return r;
+    } catch (const OutOfMemory&) {
+      if (attempt + 1 >= opts_.degrade.max_attempts) throw;
+      k *= 2;
+    }
+  }
+  throw oom;  // unreachable: the loop either returns or rethrows
 }
 
 tensor::Tensor Engine::layer(const graph::Csr& g, const tensor::Tensor& h,

@@ -9,6 +9,14 @@
 //   tlp::Engine engine;
 //   auto out = engine.conv(graph, features, spec);       // one convolution
 //   auto h1  = engine.layer(graph, h0, weights, spec);   // full GNN layer
+//
+// Robustness: the device enforces its GpuSpec memory capacity and can run
+// with guarded memory / a fault plan (EngineOptions::device). When a
+// convolution hits tlp::OutOfMemory, conv() degrades gracefully instead of
+// failing: it re-runs the convolution over partitioned subgraphs with
+// bounded retries (doubling the part count each attempt) and reports the
+// degradation in RunResult::degradation. Output stays bit-identical to the
+// unpartitioned run (see systems/partitioned.hpp).
 #pragma once
 
 #include <memory>
@@ -21,9 +29,22 @@
 
 namespace tlp {
 
+/// Policy for the OutOfMemory partitioned fallback.
+struct DegradePolicy {
+  bool enabled = true;
+  int initial_partitions = 2;
+  /// Maximum partitioned attempts (partition count doubles per attempt);
+  /// when exhausted the last OutOfMemory propagates to the caller.
+  int max_attempts = 4;
+};
+
 struct EngineOptions {
   sim::GpuSpec gpu = sim::GpuSpec::v100();
+  /// Overrides GpuSpec::memory_bytes when > 0 (CLI --device-mem-gb).
+  std::int64_t device_memory_bytes = 0;
+  sim::DeviceOptions device;  ///< guarded memory mode, fault plan
   systems::TlpgnnOptions tlpgnn;
+  DegradePolicy degrade;
 };
 
 class Engine {
@@ -32,7 +53,9 @@ class Engine {
   explicit Engine(const EngineOptions& opts);
 
   /// Runs one graph-convolution operation with TLPGNN and returns the output
-  /// features plus simulator metrics.
+  /// features plus simulator metrics. On device OutOfMemory this degrades to
+  /// partitioned execution (see DegradePolicy) rather than throwing;
+  /// inspect RunResult::degradation to detect the fallback.
   systems::RunResult conv(const graph::Csr& g, const tensor::Tensor& feat,
                           const models::ConvSpec& spec);
 
@@ -50,6 +73,11 @@ class Engine {
   [[nodiscard]] const EngineOptions& options() const { return opts_; }
 
  private:
+  systems::RunResult conv_degraded(const graph::Csr& g,
+                                   const tensor::Tensor& feat,
+                                   const models::ConvSpec& spec,
+                                   const OutOfMemory& oom);
+
   EngineOptions opts_;
   std::unique_ptr<sim::Device> device_;
   systems::TlpgnnSystem system_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -25,24 +26,39 @@ std::ofstream open_out(const std::string& path) {
 
 constexpr std::uint64_t kBinaryMagic = 0x54'4c'50'43'53'52'31'00ULL;  // "TLPCSR1"
 
+/// Largest vertex id any text loader accepts (VertexId is 32-bit signed; ids
+/// at or above this would silently wrap when narrowed).
+constexpr long long kMaxVertexId =
+    static_cast<long long>(std::numeric_limits<VertexId>::max());
+
 }  // namespace
 
 Csr read_edge_list(std::istream& in, VertexId num_vertices) {
   std::vector<Edge> edges;
   VertexId max_id = -1;
   std::string line;
+  long long lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     long long s = 0, d = 0;
     TLP_CHECK_MSG(static_cast<bool>(ls >> s >> d),
-                  "malformed edge-list line: '" << line << "'");
-    TLP_CHECK_MSG(s >= 0 && d >= 0, "negative vertex id in edge list");
+                  "malformed edge-list line " << lineno << ": '" << line
+                                              << "'");
+    TLP_CHECK_MSG(s >= 0 && d >= 0,
+                  "negative vertex id on edge-list line " << lineno << ": '"
+                                                          << line << "'");
+    TLP_CHECK_MSG(s <= kMaxVertexId && d <= kMaxVertexId,
+                  "vertex id overflows 32-bit id space on edge-list line "
+                      << lineno << ": '" << line << "'");
     edges.push_back({static_cast<VertexId>(s), static_cast<VertexId>(d)});
     max_id = std::max({max_id, static_cast<VertexId>(s), static_cast<VertexId>(d)});
   }
   const VertexId n = num_vertices > 0 ? num_vertices : max_id + 1;
-  TLP_CHECK_MSG(n > max_id, "num_vertices too small for edge ids");
+  TLP_CHECK_MSG(n > max_id, "num_vertices " << n
+                                            << " too small for max edge id "
+                                            << max_id);
   return build_csr(std::max<VertexId>(n, 1), std::move(edges),
                    {.dedup = false});
 }
@@ -67,31 +83,48 @@ void write_edge_list_file(const std::string& path, const Csr& g) {
 
 Csr read_matrix_market(std::istream& in) {
   std::string line;
+  long long lineno = 0;
   TLP_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
                 "empty MatrixMarket stream");
+  ++lineno;
   TLP_CHECK_MSG(line.rfind("%%MatrixMarket", 0) == 0,
-                "missing MatrixMarket banner");
+                "missing MatrixMarket banner on line 1: '" << line << "'");
   const bool symmetric = line.find("symmetric") != std::string::npos;
   // Skip remaining comments.
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line[0] != '%') break;
   }
   std::istringstream hs(line);
   long long rows = 0, cols = 0, nnz = 0;
   TLP_CHECK_MSG(static_cast<bool>(hs >> rows >> cols >> nnz),
-                "malformed MatrixMarket size line");
-  TLP_CHECK_MSG(rows == cols, "adjacency matrix must be square");
+                "malformed MatrixMarket size line " << lineno << ": '" << line
+                                                    << "'");
+  TLP_CHECK_MSG(rows >= 0 && cols >= 0 && nnz >= 0,
+                "negative MatrixMarket dimensions on line "
+                    << lineno << ": '" << line << "'");
+  TLP_CHECK_MSG(rows == cols, "adjacency matrix must be square, got "
+                                  << rows << " x " << cols << " on line "
+                                  << lineno);
+  TLP_CHECK_MSG(rows <= kMaxVertexId,
+                "MatrixMarket dimension " << rows
+                                          << " overflows 32-bit id space");
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(symmetric ? 2 * nnz : nnz));
   for (long long i = 0; i < nnz; ++i) {
     TLP_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
-                  "truncated MatrixMarket body at entry " << i);
+                  "truncated MatrixMarket body: expected " << nnz
+                      << " entries, stream ended after " << i);
+    ++lineno;
     std::istringstream ls(line);
     long long r = 0, c = 0;
     TLP_CHECK_MSG(static_cast<bool>(ls >> r >> c),
-                  "malformed MatrixMarket entry: '" << line << "'");
+                  "malformed MatrixMarket entry on line " << lineno << ": '"
+                                                          << line << "'");
     TLP_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                  "MatrixMarket index out of range");
+                  "MatrixMarket index (" << r << ", " << c
+                      << ") out of range for " << rows << " x " << cols
+                      << " matrix on line " << lineno);
     // Row r has an entry in column c: edge c-1 -> r-1 (A[r][c] != 0 means
     // r aggregates from c in the usual adjacency-times-features reading).
     edges.push_back({static_cast<VertexId>(c - 1), static_cast<VertexId>(r - 1)});
@@ -130,18 +163,37 @@ Csr read_binary_csr(std::istream& in) {
   std::uint64_t magic = 0;
   std::int64_t n = 0, m = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  TLP_CHECK_MSG(in.good() && magic == kBinaryMagic,
-                "not a tlpgnn binary CSR stream");
+  TLP_CHECK_MSG(in.gcount() == sizeof(magic),
+                "truncated binary CSR stream: header shorter than magic");
+  TLP_CHECK_MSG(magic == kBinaryMagic,
+                "not a tlpgnn binary CSR stream (bad magic)");
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  TLP_CHECK_MSG(in.gcount() == sizeof(n),
+                "truncated binary CSR header: missing vertex count");
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  TLP_CHECK_MSG(in.good() && n >= 0 && m >= 0, "corrupt binary CSR header");
+  TLP_CHECK_MSG(in.gcount() == sizeof(m),
+                "truncated binary CSR header: missing edge count");
+  TLP_CHECK_MSG(n >= 0 && m >= 0, "corrupt binary CSR header: negative counts ("
+                                      << n << " vertices, " << m << " edges)");
+  TLP_CHECK_MSG(n <= kMaxVertexId,
+                "binary CSR vertex count " << n
+                                           << " overflows 32-bit id space");
   std::vector<EdgeOffset> indptr(static_cast<std::size_t>(n) + 1);
   std::vector<VertexId> indices(static_cast<std::size_t>(m));
-  in.read(reinterpret_cast<char*>(indptr.data()),
-          static_cast<std::streamsize>(indptr.size() * sizeof(EdgeOffset)));
-  in.read(reinterpret_cast<char*>(indices.data()),
-          static_cast<std::streamsize>(indices.size() * sizeof(VertexId)));
-  TLP_CHECK_MSG(in.good(), "truncated binary CSR body");
+  const auto indptr_bytes =
+      static_cast<std::streamsize>(indptr.size() * sizeof(EdgeOffset));
+  in.read(reinterpret_cast<char*>(indptr.data()), indptr_bytes);
+  TLP_CHECK_MSG(in.gcount() == indptr_bytes,
+                "truncated binary CSR body: got " << in.gcount()
+                    << " of " << indptr_bytes << " indptr bytes");
+  const auto indices_bytes =
+      static_cast<std::streamsize>(indices.size() * sizeof(VertexId));
+  in.read(reinterpret_cast<char*>(indices.data()), indices_bytes);
+  TLP_CHECK_MSG(in.gcount() == indices_bytes,
+                "truncated binary CSR body: got " << in.gcount()
+                    << " of " << indices_bytes << " indices bytes");
+  // Csr's constructor validates monotone indptr and in-range indices, turning
+  // in-range-but-corrupt payloads into descriptive CheckErrors as well.
   return Csr(std::move(indptr), std::move(indices));
 }
 

@@ -1,13 +1,23 @@
 // Simulated GPU device facade: memory management, kernel launching, and
 // profiling in one object. This is the only simulator type the kernel and
 // system layers need to hold.
+//
+// Robustness: the device enforces the GpuSpec memory capacity (alloc beyond
+// it throws tlp::OutOfMemory), can run its arena in guarded mode (redzones,
+// use-after-free and write-race detection — see device_memory.hpp), and
+// executes a deterministic FaultPlan: forced allocation failures, injected
+// bit flips before a chosen launch (ECC-style corruption), and forced
+// kernel-launch failures (tlp::LaunchFailure).
 #pragma once
 
 #include <span>
 #include <string>
 
+#include "common/rng.hpp"
 #include "sim/counters.hpp"
+#include "sim/device_error.hpp"
 #include "sim/device_memory.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/gpu_spec.hpp"
 #include "sim/kernel.hpp"
 #include "sim/scheduler.hpp"
@@ -15,11 +25,23 @@
 
 namespace tlp::sim {
 
+struct DeviceOptions {
+  MemoryMode mem_mode = MemoryMode::kFast;
+  FaultPlan faults{};
+};
+
 class Device {
  public:
-  explicit Device(const GpuSpec& spec = GpuSpec::v100()) : sys_(spec) {}
+  explicit Device(const GpuSpec& spec = GpuSpec::v100(),
+                  const DeviceOptions& opts = {})
+      : sys_(spec), opts_(opts), fault_rng_(opts.faults.seed) {
+    sys_.mem.set_mode(opts.mem_mode);
+    sys_.mem.set_capacity(spec.memory_bytes);
+    sys_.mem.set_fault_plan(opts.faults);
+  }
 
   [[nodiscard]] const GpuSpec& spec() const { return sys_.spec; }
+  [[nodiscard]] const DeviceOptions& options() const { return opts_; }
   [[nodiscard]] MemorySystem& sys() { return sys_; }
   [[nodiscard]] DeviceMemory& mem() { return sys_.mem; }
 
@@ -48,8 +70,22 @@ class Device {
     return {src.begin(), src.end()};
   }
 
-  /// Runs a kernel and records a launch in the profile.
+  /// Runs a kernel and records a launch in the profile. Applies the fault
+  /// plan's launch-scoped injections first: a forced LaunchFailure, or bit
+  /// flips in device memory (which the kernel then consumes — the model for
+  /// undetected ECC corruption).
   KernelRecord& launch(WarpKernel& kernel, const LaunchConfig& cfg = {}) {
+    ++launch_seq_;
+    const FaultPlan& plan = opts_.faults;
+    if (plan.fail_launch > 0 && launch_seq_ == plan.fail_launch) {
+      throw LaunchFailure("injected launch fault: kernel '" + kernel.name() +
+                              "' (launch #" + std::to_string(launch_seq_) +
+                              ") failed by FaultPlan",
+                          kernel.name());
+    }
+    if (plan.flip_at_launch > 0 && launch_seq_ == plan.flip_at_launch) {
+      inject_bit_flips();
+    }
     KernelRecord& rec = profiler_.begin_kernel(kernel.name());
     run_kernel(sys_, kernel, cfg, rec);
     return rec;
@@ -71,7 +107,8 @@ class Device {
   /// Clears the launch profile, keeping memory and cache contents.
   void reset_profile() { profiler_.reset(); }
 
-  /// Full reset: profile, caches, and device memory.
+  /// Full reset: profile, caches, and device memory. Fault-plan progress is
+  /// kept — one-shot faults stay consumed across degradation retries.
   void reset_all() {
     profiler_.reset();
     sys_.reset_caches();
@@ -79,8 +116,52 @@ class Device {
   }
 
  private:
+  void inject_bit_flips() {
+    const FaultPlan& plan = opts_.faults;
+    const auto& allocs = sys_.mem.allocations();
+    // Candidate buffers: the chosen allocation, or any live non-empty one.
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < allocs.size(); ++i) {
+      if (allocs[i].live && allocs[i].bytes > 0) live.push_back(i);
+    }
+    if (live.empty()) return;
+    const AllocationTarget target = pick_target(live);
+    for (int i = 0; i < plan.flip_bits; ++i) {
+      const std::uint64_t byte =
+          target.offset + fault_rng_.next_below(target.bytes);
+      sys_.mem.flip_bit(byte, static_cast<int>(fault_rng_.next_below(8)));
+    }
+  }
+
+  struct AllocationTarget {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  AllocationTarget pick_target(const std::vector<std::size_t>& live) {
+    const auto& allocs = sys_.mem.allocations();
+    const FaultPlan& plan = opts_.faults;
+    if (plan.flip_alloc >= 0) {
+      TLP_CHECK_MSG(plan.flip_alloc <
+                        static_cast<std::int64_t>(allocs.size()),
+                    "FaultPlan::flip_alloc " << plan.flip_alloc
+                        << " out of range (" << allocs.size()
+                        << " allocations)");
+      const auto& a = allocs[static_cast<std::size_t>(plan.flip_alloc)];
+      TLP_CHECK_MSG(a.live && a.bytes > 0,
+                    "FaultPlan::flip_alloc targets a dead or empty buffer");
+      return {a.offset, a.bytes};
+    }
+    const auto& a = allocs[live[static_cast<std::size_t>(
+        fault_rng_.next_below(live.size()))]];
+    return {a.offset, a.bytes};
+  }
+
   MemorySystem sys_;
+  DeviceOptions opts_;
   Profiler profiler_;
+  Rng fault_rng_;
+  std::int64_t launch_seq_ = 0;
 };
 
 }  // namespace tlp::sim

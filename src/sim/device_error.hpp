@@ -1,0 +1,76 @@
+// Structured error taxonomy for the simulated device layer.
+//
+// Every failure the device can report — allocation beyond capacity, an
+// out-of-bounds or use-after-free access caught by guarded memory, a write
+// race between warps, or an (injected) kernel-launch failure — is a distinct
+// exception type, so callers can implement per-failure policies: the engine
+// retries OutOfMemory with a partitioned fallback, while InvalidAccess and
+// WriteRace are programming errors that must surface loudly.
+//
+// DeviceError derives from tlp::CheckError so existing catch sites that
+// treat CheckError as "library error" keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace tlp {
+
+/// Base class of all simulated-device failures.
+class DeviceError : public CheckError {
+ public:
+  explicit DeviceError(const std::string& what) : CheckError(what) {}
+};
+
+/// Allocation would exceed device capacity, or an injected allocation fault.
+class OutOfMemory : public DeviceError {
+ public:
+  OutOfMemory(const std::string& what, std::int64_t requested_bytes,
+              std::int64_t live_bytes, std::int64_t capacity_bytes)
+      : DeviceError(what),
+        requested_bytes(requested_bytes),
+        live_bytes(live_bytes),
+        capacity_bytes(capacity_bytes) {}
+
+  std::int64_t requested_bytes = 0;
+  std::int64_t live_bytes = 0;
+  std::int64_t capacity_bytes = 0;  ///< 0 = injected fault, not a real limit
+};
+
+/// A load/store/atomic touched memory outside any live allocation (redzone /
+/// out-of-bounds) or inside a freed allocation (use-after-free).
+class InvalidAccess : public DeviceError {
+ public:
+  InvalidAccess(const std::string& what, std::uint64_t byte_addr,
+                std::string kernel)
+      : DeviceError(what), byte_addr(byte_addr), kernel(std::move(kernel)) {}
+
+  std::uint64_t byte_addr = 0;
+  std::string kernel;  ///< empty when no kernel was running
+};
+
+/// Two warps stored non-atomically to the same address within one kernel.
+class WriteRace : public InvalidAccess {
+ public:
+  WriteRace(const std::string& what, std::uint64_t byte_addr,
+            std::string kernel, std::int64_t warp_a, std::int64_t warp_b)
+      : InvalidAccess(what, byte_addr, std::move(kernel)),
+        warp_a(warp_a),
+        warp_b(warp_b) {}
+
+  std::int64_t warp_a = -1;
+  std::int64_t warp_b = -1;
+};
+
+/// A kernel launch failed (fault injection; mirrors cudaLaunchKernel errors).
+class LaunchFailure : public DeviceError {
+ public:
+  LaunchFailure(const std::string& what, std::string kernel)
+      : DeviceError(what), kernel(std::move(kernel)) {}
+
+  std::string kernel;
+};
+
+}  // namespace tlp

@@ -5,18 +5,41 @@
 // the coalescing/cache model (byte addresses are arena offsets). Allocation
 // is a bump pointer with live/peak accounting; `peak_bytes()` is the
 // "Global mem usage" metric of Table 3.
+//
+// Robustness features (see DESIGN.md "Fault model & memory safety"):
+//  - A capacity limit (from GpuSpec::memory_bytes) makes alloc() throw
+//    tlp::OutOfMemory instead of growing unboundedly; the limit models a
+//    recycling allocator, so it is checked against *live* bytes.
+//  - MemoryMode::kGuarded adds redzones between allocations, poison fill on
+//    alloc/free, out-of-bounds and use-after-free detection on every kernel
+//    load/store/atomic, and a shadow-memory write-race detector that flags
+//    two warps storing non-atomically to the same address within a kernel.
+//  - A FaultPlan can force the Nth allocation to fail with OutOfMemory so
+//    degradation paths are testable without huge workloads.
+//
+// View invalidation contract: alloc() may grow (and therefore move) the
+// arena, which invalidates every previously obtained view. Views carry the
+// arena generation at creation and re-derive their pointer from the arena on
+// each access, so use of a stale view fails loudly instead of reading freed
+// storage.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <span>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "sim/device_error.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace tlp::sim {
+
+class DeviceMemory;
 
 /// Typed handle into device memory. Trivially copyable; the arena outlives
 /// all handles it issued.
@@ -31,69 +54,216 @@ struct DevPtr {
   }
 };
 
+enum class MemoryMode {
+  kFast,     ///< no per-access validation beyond the arena bound
+  kGuarded,  ///< redzones, poison fill, OOB/UAF checks, write-race detection
+};
+
+/// Host view of an allocation. The pointer is re-derived from the arena on
+/// every data()/begin()/end()/operator[] call and the arena generation is
+/// verified, so holding a view across an alloc() that grew the arena throws
+/// CheckError instead of dereferencing a dangling pointer. Use like a span:
+///   auto v = mem.view(p);  v[2] = 42;  std::fill(v.begin(), v.end(), 0);
+template <class T>
+class ArenaView {
+  using Mem = std::conditional_t<std::is_const_v<T>, const DeviceMemory,
+                                 DeviceMemory>;
+
+ public:
+  ArenaView() = default;
+  ArenaView(Mem* mem, std::uint64_t byte_offset, std::size_t count,
+            std::uint64_t generation)
+      : mem_(mem), offset_(byte_offset), count_(count), gen_(generation) {}
+
+  [[nodiscard]] T* data() const;
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] T* begin() const { return data(); }
+  [[nodiscard]] T* end() const { return data() + count_; }
+  [[nodiscard]] T& operator[](std::size_t i) const { return data()[i]; }
+
+ private:
+  Mem* mem_ = nullptr;
+  std::uint64_t offset_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
 class DeviceMemory {
  public:
   DeviceMemory() = default;
+  explicit DeviceMemory(MemoryMode mode) : mode_(mode) {}
+
+  /// Guarded mode must be selected while the arena is empty (fresh or just
+  /// reset): redzone layout cannot be retrofitted onto live allocations.
+  void set_mode(MemoryMode mode) {
+    TLP_CHECK_MSG(top_ == 0, "set_mode requires an empty arena");
+    mode_ = mode;
+  }
+  [[nodiscard]] MemoryMode mode() const { return mode_; }
+
+  /// Capacity limit in bytes; 0 = unlimited. Checked against live bytes
+  /// (the arena recycles storage only on reset(), but a real device
+  /// allocator recycles on free, which is what the limit models).
+  void set_capacity(std::int64_t bytes) {
+    TLP_CHECK_GE(bytes, 0);
+    capacity_bytes_ = bytes;
+  }
+  [[nodiscard]] std::int64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Installs a fault plan; only the allocation faults are handled here (the
+  /// launch faults live on Device). Plan counters survive reset() so a
+  /// degradation retry does not re-trigger a one-shot fault.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
 
   /// Allocates `count` elements, 256-byte aligned (cudaMalloc alignment).
-  /// Invalidates previously obtained views (the arena may reallocate).
+  /// Invalidates previously obtained views if the arena grows (detected on
+  /// stale-view use). Throws tlp::OutOfMemory when the capacity limit or an
+  /// injected allocation fault fires.
   template <class T>
   DevPtr<T> alloc(std::int64_t count) {
-    TLP_CHECK(count >= 0);
-    const std::uint64_t offset = bump(static_cast<std::uint64_t>(count) * sizeof(T));
-    live_bytes_ += static_cast<std::int64_t>(count) * static_cast<std::int64_t>(sizeof(T));
-    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+    TLP_CHECK_GE(count, 0);
+    const std::uint64_t offset =
+        allocate_bytes(static_cast<std::uint64_t>(count) * sizeof(T));
     return DevPtr<T>{offset, count};
   }
 
   /// Marks an allocation dead for the live/peak accounting. Storage is not
-  /// recycled (bump arena); reset() reclaims everything.
+  /// recycled (bump arena); reset() reclaims everything. In guarded mode the
+  /// payload is poisoned and later kernel access throws InvalidAccess.
   template <class T>
   void free(DevPtr<T>& p) {
-    live_bytes_ -= p.count * static_cast<std::int64_t>(sizeof(T));
-    TLP_CHECK(live_bytes_ >= 0);
+    release_bytes(p.byte_offset,
+                  static_cast<std::uint64_t>(p.count) * sizeof(T));
     p = DevPtr<T>{};
   }
 
-  /// Host view of an allocation. Invalidated by the next alloc().
+  /// Host view of an allocation. Invalidated by any alloc() that grows the
+  /// arena; stale use throws (see ArenaView).
   template <class T>
-  [[nodiscard]] std::span<T> view(DevPtr<T> p) {
-    return {reinterpret_cast<T*>(arena_.data() + p.byte_offset),
-            static_cast<std::size_t>(p.count)};
+  [[nodiscard]] ArenaView<T> view(DevPtr<T> p) {
+    return {this, p.byte_offset, static_cast<std::size_t>(p.count),
+            generation_};
   }
   template <class T>
-  [[nodiscard]] std::span<const T> view(DevPtr<T> p) const {
-    return {reinterpret_cast<const T*>(arena_.data() + p.byte_offset),
-            static_cast<std::size_t>(p.count)};
+  [[nodiscard]] ArenaView<const T> view(DevPtr<T> p) const {
+    return {this, p.byte_offset, static_cast<std::size_t>(p.count),
+            generation_};
   }
 
-  /// Raw typed access used by the warp context's load/store paths.
+  /// Raw typed access used by the warp context's load/store paths. The arena
+  /// bound is enforced in every build mode (a silent out-of-bounds access
+  /// would corrupt a neighbouring buffer); guarded mode additionally checks
+  /// that the access lands inside a single live allocation.
   template <class T>
   [[nodiscard]] T read(std::uint64_t byte_addr) const {
-    TLP_DCHECK(byte_addr + sizeof(T) <= arena_.size());
+    bounds_check(byte_addr, sizeof(T));
     T out;
     std::memcpy(&out, arena_.data() + byte_addr, sizeof(T));
     return out;
   }
   template <class T>
   void write(std::uint64_t byte_addr, T value) {
-    TLP_DCHECK(byte_addr + sizeof(T) <= arena_.size());
+    bounds_check(byte_addr, sizeof(T));
     std::memcpy(arena_.data() + byte_addr, &value, sizeof(T));
   }
+
+  // --- guarded-mode kernel context ----------------------------------------
+  /// Called by the scheduler around each kernel: names the kernel for error
+  /// messages and clears the per-kernel write-race shadow map.
+  void begin_kernel(const std::string& name);
+  void end_kernel();
+
+  /// Guarded-mode hook called by WarpCtx for every store/atomic lane: feeds
+  /// the write-race shadow map. `warp` identifies the storing warp; stores
+  /// from different warps to one address are a race unless both are atomic.
+  void note_store(std::uint64_t byte_addr, int bytes, std::int64_t warp,
+                  bool atomic);
+
+  // --- fault-injection support ---------------------------------------------
+  struct AllocationRecord {
+    std::uint64_t offset = 0;  ///< payload start
+    std::uint64_t bytes = 0;   ///< payload size
+    bool live = false;
+  };
+  [[nodiscard]] const std::vector<AllocationRecord>& allocations() const {
+    return allocs_;
+  }
+  /// Total allocations made over this arena's lifetime (fault-plan cursor).
+  [[nodiscard]] std::int64_t alloc_count() const { return alloc_seq_; }
+  /// Flips one bit, bypassing guards — the ECC-corruption injection point.
+  void flip_bit(std::uint64_t byte_addr, int bit);
 
   [[nodiscard]] std::int64_t live_bytes() const { return live_bytes_; }
   [[nodiscard]] std::int64_t peak_bytes() const { return peak_bytes_; }
 
-  /// Releases everything and clears peak accounting.
+  /// Arena reallocation counter backing stale-view detection.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Releases everything and clears peak accounting. Fault-plan progress is
+  /// kept (one-shot faults stay consumed across degradation retries).
   void reset();
 
  private:
+  template <class U>
+  friend class ArenaView;
+
+  [[nodiscard]] std::byte* arena_ptr() { return arena_.data(); }
+  [[nodiscard]] const std::byte* arena_ptr() const { return arena_.data(); }
+
+  std::uint64_t allocate_bytes(std::uint64_t bytes);
+  void release_bytes(std::uint64_t offset, std::uint64_t bytes);
   std::uint64_t bump(std::uint64_t bytes);
+
+  void bounds_check(std::uint64_t byte_addr, std::size_t bytes) const {
+    if (byte_addr + bytes > arena_.size()) {
+      fail_access(byte_addr, bytes, "outside the device arena");
+    }
+    if (mode_ == MemoryMode::kGuarded) guarded_check(byte_addr, bytes);
+  }
+  void guarded_check(std::uint64_t byte_addr, std::size_t bytes) const;
+  [[noreturn]] void fail_access(std::uint64_t byte_addr, std::size_t bytes,
+                                const char* what) const;
+  /// Allocation containing `addr`, or nullptr. Allocations are offset-sorted
+  /// (bump arena), so this is a binary search.
+  [[nodiscard]] const AllocationRecord* find_allocation(
+      std::uint64_t addr) const;
 
   std::vector<std::byte> arena_;
   std::uint64_t top_ = 0;
   std::int64_t live_bytes_ = 0;
   std::int64_t peak_bytes_ = 0;
+  std::int64_t capacity_bytes_ = 0;
+  std::uint64_t generation_ = 0;
+  MemoryMode mode_ = MemoryMode::kFast;
+
+  std::vector<AllocationRecord> allocs_;
+
+  FaultPlan fault_plan_{};
+  std::int64_t alloc_seq_ = 0;
+  bool oom_fault_fired_ = false;
+
+  // Guarded-mode kernel context: current kernel name plus the write shadow
+  // map (address -> last non-host writer) cleared per kernel.
+  std::string kernel_name_;
+  struct ShadowWrite {
+    std::int64_t warp = -1;
+    bool atomic = false;
+  };
+  std::unordered_map<std::uint64_t, ShadowWrite> write_shadow_;
 };
+
+template <class T>
+T* ArenaView<T>::data() const {
+  TLP_CHECK_MSG(mem_ != nullptr, "empty ArenaView dereferenced");
+  TLP_CHECK_MSG(gen_ == mem_->generation(),
+                "stale device-memory view used: the arena was reallocated "
+                "(generation " << gen_ << " vs " << mem_->generation()
+                << ") — re-acquire the view after alloc()");
+  using Byte =
+      std::conditional_t<std::is_const_v<T>, const std::byte, std::byte>;
+  Byte* base = mem_->arena_ptr();
+  return reinterpret_cast<T*>(base + offset_);
+}
 
 }  // namespace tlp::sim

@@ -1,0 +1,42 @@
+// Deterministic fault injection for the simulated device.
+//
+// A FaultPlan describes failures the device should manufacture so that every
+// error path — OOM fallback, launch retry, silent-corruption detection — can
+// be exercised from tests without contriving a workload that actually
+// exhausts memory. All injection points are counted deterministically and
+// the bit-flip site is drawn from a seeded common/rng stream, so a given
+// (plan, workload) pair always fails identically.
+#pragma once
+
+#include <cstdint>
+
+namespace tlp::sim {
+
+struct FaultPlan {
+  /// Fail the Nth allocation (1-based) with tlp::OutOfMemory. One-shot: the
+  /// fault fires once and subsequent allocations succeed, which is what lets
+  /// a degradation path retry. <= 0 disables.
+  std::int64_t oom_at_alloc = 0;
+
+  /// Fail the Nth kernel launch (1-based) with tlp::LaunchFailure before the
+  /// kernel runs. One-shot. <= 0 disables.
+  std::int64_t fail_launch = 0;
+
+  /// Immediately before the Nth kernel launch (1-based), flip `flip_bits`
+  /// random bits inside a live allocation — an ECC-style corruption that a
+  /// reference bit-check must catch downstream. <= 0 disables.
+  std::int64_t flip_at_launch = 0;
+  int flip_bits = 1;
+  /// Allocation to corrupt, as a 0-based index into the allocations made
+  /// since the last reset; -1 picks a random live allocation.
+  std::int64_t flip_alloc = -1;
+
+  /// Seed for the rng stream that picks bit-flip positions.
+  std::uint64_t seed = 0x5eedfa417ULL;
+
+  [[nodiscard]] bool any() const {
+    return oom_at_alloc > 0 || fail_launch > 0 || flip_at_launch > 0;
+  }
+};
+
+}  // namespace tlp::sim

@@ -17,6 +17,7 @@ GpuSpec GpuSpec::v100_scaled(int divisor) {
         static_cast<std::int64_t>(s.line_bytes) * ways;
     return std::max(set_bytes, bytes / set_bytes * set_bytes);
   };
+  s.memory_bytes = std::max<std::int64_t>(64 << 20, s.memory_bytes / divisor);
   s.l1_bytes = round_to_sets(
       std::max<std::int64_t>(4 << 10, s.l1_bytes / divisor), s.l1_ways);
   s.l2_bytes = round_to_sets(

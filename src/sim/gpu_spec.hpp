@@ -18,6 +18,10 @@ struct GpuSpec {
   int issue_width = 4;
 
   // --- memory hierarchy ----------------------------------------------------
+  /// Device global-memory capacity (V100 SXM2: 32 GB). The simulated arena
+  /// refuses allocations beyond this with tlp::OutOfMemory — the signal the
+  /// engine's partitioned fallback degrades on. 0 = unlimited.
+  std::int64_t memory_bytes = 32LL << 30;
   std::int64_t l1_bytes = 128 << 10;  ///< per-SM combined L1/shared
   int l1_ways = 4;
   std::int64_t l2_bytes = 6 << 20;

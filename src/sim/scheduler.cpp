@@ -97,7 +97,7 @@ void run_hardware_dynamic(MemorySystem& sys, WarpKernel& kernel,
     const std::int64_t lo = b * wpb;
     const std::int64_t hi = std::min<std::int64_t>(n, lo + wpb);
     for (std::int64_t item = lo; item < hi; ++item) {
-      WarpCtx warp(sys, sm);
+      WarpCtx warp(sys, sm, /*warp_id=*/item);
       kernel.run_item(warp, item);
       rec.issue_cycles += warp.issue_cycles();
       rec.mem_stall_cycles += warp.mem_cycles();
@@ -140,7 +140,7 @@ void run_static_chunk(MemorySystem& sys, WarpKernel& kernel,
     int block_warps = 0;
     for (std::int64_t w = b * wpb;
          w < std::min<std::int64_t>(total_warps, (b + 1) * wpb); ++w) {
-      WarpCtx warp(sys, sm);
+      WarpCtx warp(sys, sm, /*warp_id=*/w);
       const std::int64_t lo = w * chunk;
       const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
       for (std::int64_t item = lo; item < hi; ++item)
@@ -202,7 +202,7 @@ void run_software_pool(MemorySystem& sys, WarpKernel& kernel,
     const auto [t, w] = heap.top();
     heap.pop();
     const int sm = static_cast<int>(w % spec.num_sms);
-    WarpCtx warp(sys, sm);
+    WarpCtx warp(sys, sm, /*warp_id=*/w);
     const double grab_time = std::max(t, pool_available);
     pool_available = grab_time + spec.pool_grab_gap_cycles;
     const std::uint32_t sindex = warp.atomic_add_u32(
@@ -236,14 +236,34 @@ void run_software_pool(MemorySystem& sys, WarpKernel& kernel,
 
 }  // namespace
 
+namespace {
+
+/// Restores the current-kernel pointers even when a kernel throws (guarded
+/// memory raises InvalidAccess/WriteRace mid-execution; the device must stay
+/// usable for the caller's error handling).
+struct KernelScope {
+  KernelScope(MemorySystem& sys, KernelRecord& rec)
+      : sys(sys), prev(sys.rec) {
+    sys.rec = &rec;
+    sys.mem.begin_kernel(rec.name);
+  }
+  ~KernelScope() {
+    sys.mem.end_kernel();
+    sys.rec = prev;
+  }
+  MemorySystem& sys;
+  KernelRecord* prev;
+};
+
+}  // namespace
+
 void run_kernel(MemorySystem& sys, WarpKernel& kernel, const LaunchConfig& cfg,
                 KernelRecord& rec) {
   TLP_CHECK_MSG(cfg.warps_per_block * sys.spec.warp_size <=
                     sys.spec.max_threads_per_block,
                 "block too large: " << cfg.warps_per_block << " warps");
   rec.name = kernel.name();
-  KernelRecord* const prev = sys.rec;
-  sys.rec = &rec;
+  KernelScope scope(sys, rec);
   if (kernel.num_items() == 0) {
     rec.launch_overhead_us += sys.spec.kernel_launch_us;
   } else {
@@ -259,7 +279,6 @@ void run_kernel(MemorySystem& sys, WarpKernel& kernel, const LaunchConfig& cfg,
         break;
     }
   }
-  sys.rec = prev;
 }
 
 }  // namespace tlp::sim

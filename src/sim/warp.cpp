@@ -187,6 +187,7 @@ void WarpCtx::store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
     addr[static_cast<std::size_t>(l)] = base.addr(idx[static_cast<std::size_t>(l)]);
     sys_->mem.write<float>(addr[static_cast<std::size_t>(l)],
                            val[static_cast<std::size_t>(l)]);
+    note_store(addr[static_cast<std::size_t>(l)], 4, /*atomic=*/false);
   }
   request(addr, m, 4, Op::kStore);
 }
@@ -203,6 +204,7 @@ void WarpCtx::atomic_add_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
     addr[static_cast<std::size_t>(l)] = a;
     const float old = sys_->mem.read<float>(a);
     sys_->mem.write<float>(a, old + val[static_cast<std::size_t>(l)]);
+    note_store(a, 4, /*atomic=*/true);
     int conflicts = 0;
     for (int k = 0; k < l; ++k) {
       if (lane_active(m, k) && addr[static_cast<std::size_t>(k)] == a) ++conflicts;
@@ -228,6 +230,7 @@ void WarpCtx::atomic_max_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
     const float old = sys_->mem.read<float>(a);
     sys_->mem.write<float>(a,
                            std::max(old, val[static_cast<std::size_t>(l)]));
+    note_store(a, 4, /*atomic=*/true);
     int conflicts = 0;
     for (int k = 0; k < l; ++k) {
       if (lane_active(m, k) && addr[static_cast<std::size_t>(k)] == a) ++conflicts;
@@ -272,6 +275,7 @@ void WarpCtx::store_scalar_f32(DevPtr<float> base, std::int64_t idx, float v) {
   std::array<std::uint64_t, kWarpSize> addr{};
   addr[0] = base.addr(idx);
   sys_->mem.write<float>(addr[0], v);
+  note_store(addr[0], 4, /*atomic=*/false);
   request(addr, 0x1u, 4, Op::kStore);
 }
 
@@ -281,6 +285,7 @@ std::uint32_t WarpCtx::atomic_add_u32(DevPtr<std::uint32_t> base,
   addr[0] = base.addr(idx);
   const auto old = sys_->mem.read<std::uint32_t>(addr[0]);
   sys_->mem.write<std::uint32_t>(addr[0], old + add);
+  note_store(addr[0], 4, /*atomic=*/true);
   request(addr, 0x1u, 4, Op::kAtomic);
   sys_->rec->atomic_ops += 1;
   return old;
@@ -292,6 +297,7 @@ float WarpCtx::atomic_add_scalar_f32(DevPtr<float> base, std::int64_t idx,
   addr[0] = base.addr(idx);
   const float old = sys_->mem.read<float>(addr[0]);
   sys_->mem.write<float>(addr[0], old + v);
+  note_store(addr[0], 4, /*atomic=*/true);
   request(addr, 0x1u, 4, Op::kAtomic);
   sys_->rec->atomic_ops += 1;
   return old;

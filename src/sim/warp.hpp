@@ -51,7 +51,11 @@ struct MemorySystem {
 
 class WarpCtx {
  public:
-  WarpCtx(MemorySystem& sys, int sm_id) : sys_(&sys), sm_(sm_id) {}
+  /// `warp_id` is a launch-unique id used by the guarded-memory write-race
+  /// detector to distinguish stores from different warps; -1 (host / test
+  /// contexts) still participates in race tracking as its own writer.
+  WarpCtx(MemorySystem& sys, int sm_id, std::int64_t warp_id = -1)
+      : sys_(&sys), sm_(sm_id), warp_id_(warp_id) {}
 
   // --- per-warp cost accumulators (read by the scheduler) ------------------
   [[nodiscard]] double issue_cycles() const { return issue_; }
@@ -99,6 +103,7 @@ class WarpCtx {
   float reduce_max(const WVec<float>& v, Mask m);
 
   [[nodiscard]] int sm() const { return sm_; }
+  [[nodiscard]] std::int64_t warp_id() const { return warp_id_; }
 
  private:
   enum class Op { kLoad, kStore, kAtomic };
@@ -108,8 +113,15 @@ class WarpCtx {
   void request(const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
                int bytes_per_lane, Op op);
 
+  /// Guarded-memory hook: reports one store lane to the write-race detector.
+  void note_store(std::uint64_t addr, int bytes, bool atomic) {
+    if (sys_->mem.mode() == MemoryMode::kGuarded)
+      sys_->mem.note_store(addr, bytes, warp_id_, atomic);
+  }
+
   MemorySystem* sys_;
   int sm_;
+  std::int64_t warp_id_ = -1;
   double issue_ = 0;
   double mem_ = 0;
 };

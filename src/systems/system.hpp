@@ -30,6 +30,15 @@ struct OverheadModel {
   double framework_ms_per_kernel = 0.3;
 };
 
+/// How a run that hit device OutOfMemory was completed anyway (Engine::conv
+/// falls back to running the convolution over partitioned subgraphs).
+struct Degradation {
+  bool degraded = false;
+  int partitions = 0;  ///< subgraphs the final successful attempt used
+  int retries = 0;     ///< failed attempts before the successful one
+  std::string reason;  ///< message of the error that triggered degradation
+};
+
 struct RunResult {
   tensor::Tensor output;
   sim::Metrics metrics;       ///< aggregated over this run's launches
@@ -39,6 +48,7 @@ struct RunResult {
   double preprocessing_ms = 0;  ///< host-side preprocessing (GNNAdvisor)
   int kernel_launches = 0;
   std::int64_t peak_device_bytes = 0;
+  Degradation degradation;    ///< default: not degraded
 };
 
 class GnnSystem {

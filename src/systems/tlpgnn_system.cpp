@@ -22,9 +22,16 @@ sim::Assignment hybrid_heuristic(std::int64_t num_vertices,
 RunResult TlpgnnSystem::run(sim::Device& dev, const graph::Csr& g,
                             const tensor::Tensor& feat,
                             const models::ConvSpec& spec) {
+  return run_with_norm(dev, g, feat, spec, nullptr);
+}
+
+RunResult TlpgnnSystem::run_with_norm(sim::Device& dev, const graph::Csr& g,
+                                      const tensor::Tensor& feat,
+                                      const models::ConvSpec& spec,
+                                      const std::vector<float>* norm_override) {
   dev.reset_all();
   const std::int64_t f = feat.cols();
-  const DeviceGraph dg = kernels::upload_graph(dev, g);
+  const DeviceGraph dg = kernels::upload_graph(dev, g, norm_override);
   const sim::DevPtr<float> dfeat = kernels::upload_features(dev, feat);
   sim::DevPtr<float> dout = dev.alloc_zeroed<float>(dg.n * f);
 

@@ -45,6 +45,15 @@ class TlpgnnSystem final : public GnnSystem {
                 const tensor::Tensor& feat,
                 const models::ConvSpec& spec) override;
 
+  /// run() with an externally supplied GCN normalization vector. The
+  /// partitioned-fallback path needs this: a subgraph's owned vertices must
+  /// keep their *global* norms (and halo vertices have no local in-edges at
+  /// all), so recomputing norms from the local CSR would change results.
+  RunResult run_with_norm(sim::Device& dev, const graph::Csr& g,
+                          const tensor::Tensor& feat,
+                          const models::ConvSpec& spec,
+                          const std::vector<float>* norm_override);
+
   [[nodiscard]] const TlpgnnOptions& options() const { return opts_; }
 
  private:

@@ -74,5 +74,156 @@ TEST(DevPtr, AddrArithmetic) {
   EXPECT_EQ(p.addr(3), 1024u + 24u);
 }
 
+TEST(DeviceMemory, CapacityLimitThrowsOutOfMemory) {
+  DeviceMemory mem;
+  mem.set_capacity(1024);
+  auto a = mem.alloc<float>(128);  // 512 B, fits
+  try {
+    (void)mem.alloc<float>(256);  // 1024 B more would exceed the limit
+    FAIL() << "expected OutOfMemory";
+  } catch (const tlp::OutOfMemory& e) {
+    EXPECT_EQ(e.requested_bytes, 1024);
+    EXPECT_EQ(e.live_bytes, 512);
+    EXPECT_EQ(e.capacity_bytes, 1024);
+  }
+  // The limit models a recycling allocator: freeing makes room again.
+  mem.free(a);
+  EXPECT_NO_THROW((void)mem.alloc<float>(256));
+}
+
+TEST(DeviceMemory, InjectedOomIsOneShot) {
+  DeviceMemory mem;
+  mem.set_fault_plan({.oom_at_alloc = 2});
+  EXPECT_NO_THROW((void)mem.alloc<float>(8));
+  EXPECT_THROW((void)mem.alloc<float>(8), tlp::OutOfMemory);
+  EXPECT_NO_THROW((void)mem.alloc<float>(8));  // fault already consumed
+  mem.reset();
+  // The consumed fault stays consumed across reset() (degradation retries).
+  EXPECT_NO_THROW((void)mem.alloc<float>(8));
+}
+
+TEST(DeviceMemory, GuardedCatchesOutOfBoundsAccess) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  const auto p = mem.alloc<float>(4);
+  EXPECT_NO_THROW((void)mem.read<float>(p.addr(3)));
+  EXPECT_THROW((void)mem.read<float>(p.addr(4)), tlp::InvalidAccess);
+  EXPECT_THROW(mem.write<float>(p.addr(4), 1.0f), tlp::InvalidAccess);
+}
+
+TEST(DeviceMemory, GuardedCatchesStraddlingAccess) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  const auto p = mem.alloc<std::uint8_t>(6);
+  // A 4-byte read at offset 4 covers bytes [4, 8) of a 6-byte buffer.
+  EXPECT_THROW((void)mem.read<std::uint32_t>(p.addr(4)), tlp::InvalidAccess);
+}
+
+TEST(DeviceMemory, GuardedCatchesUseAfterFree) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  auto p = mem.alloc<float>(8);
+  const auto addr = p.addr(0);
+  mem.write<float>(addr, 1.0f);
+  mem.free(p);
+  EXPECT_THROW((void)mem.read<float>(addr), tlp::InvalidAccess);
+}
+
+TEST(DeviceMemory, GuardedPoisonsFreshAllocations) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  const auto p = mem.alloc<std::uint32_t>(2);
+  EXPECT_EQ(mem.read<std::uint32_t>(p.addr(0)), 0xCDCDCDCDu);
+}
+
+TEST(DeviceMemory, DoubleFreeThrows) {
+  DeviceMemory mem;
+  auto p = mem.alloc<float>(8);
+  const DevPtr<float> copy = p;
+  mem.free(p);
+  auto stale = copy;
+  EXPECT_THROW(mem.free(stale), tlp::CheckError);
+}
+
+TEST(DeviceMemory, FreeOfUnknownAddressThrows) {
+  DeviceMemory mem;
+  (void)mem.alloc<float>(8);
+  DevPtr<float> bogus{64, 8};  // never returned by alloc()
+  EXPECT_THROW(mem.free(bogus), tlp::CheckError);
+}
+
+TEST(DeviceMemory, StaleViewDetectedAfterArenaGrowth) {
+  DeviceMemory mem;
+  const auto p = mem.alloc<std::int32_t>(4);
+  auto v = mem.view(p);
+  v[0] = 7;  // fresh view works
+  (void)mem.alloc<std::byte>(4 << 20);  // forces the arena to grow and move
+  EXPECT_THROW((void)v[0], tlp::CheckError);
+  auto fresh = mem.view(p);  // re-acquired views see the data at its new home
+  EXPECT_EQ(fresh[0], 7);
+}
+
+TEST(DeviceMemory, WriteRaceDetectedAtSharedAddress) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  const auto p = mem.alloc<float>(4);
+  mem.begin_kernel("push");
+  mem.note_store(p.addr(0), 4, /*warp=*/0, /*atomic=*/false);
+  // Same warp again: not a race.
+  EXPECT_NO_THROW(mem.note_store(p.addr(0), 4, 0, false));
+  try {
+    mem.note_store(p.addr(0), 4, /*warp=*/1, /*atomic=*/false);
+    FAIL() << "expected WriteRace";
+  } catch (const tlp::WriteRace& e) {
+    EXPECT_EQ(e.kernel, "push");
+    EXPECT_EQ(e.byte_addr, p.addr(0));
+    EXPECT_EQ(e.warp_a, 0);
+    EXPECT_EQ(e.warp_b, 1);
+  }
+  mem.end_kernel();
+}
+
+TEST(DeviceMemory, AtomicStoresFromDifferentWarpsAreNotARace) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  const auto p = mem.alloc<float>(4);
+  mem.begin_kernel("reduce");
+  EXPECT_NO_THROW(mem.note_store(p.addr(0), 4, 0, /*atomic=*/true));
+  EXPECT_NO_THROW(mem.note_store(p.addr(0), 4, 1, /*atomic=*/true));
+  // Atomic then plain from another warp is still a race.
+  EXPECT_THROW(mem.note_store(p.addr(0), 4, 2, /*atomic=*/false),
+               tlp::WriteRace);
+  mem.end_kernel();
+}
+
+TEST(DeviceMemory, ShadowMapClearsBetweenKernels) {
+  DeviceMemory mem(MemoryMode::kGuarded);
+  const auto p = mem.alloc<float>(4);
+  mem.begin_kernel("a");
+  mem.note_store(p.addr(0), 4, 0, false);
+  mem.end_kernel();
+  mem.begin_kernel("b");
+  // A different warp storing in a *different kernel* is fine.
+  EXPECT_NO_THROW(mem.note_store(p.addr(0), 4, 1, false));
+  mem.end_kernel();
+}
+
+TEST(DeviceMemory, FlipBitCorruptsStoredValue) {
+  DeviceMemory mem;
+  const auto p = mem.alloc<std::uint32_t>(1);
+  mem.write<std::uint32_t>(p.addr(0), 0u);
+  mem.flip_bit(p.addr(0), 5);
+  EXPECT_EQ(mem.read<std::uint32_t>(p.addr(0)), 1u << 5);
+  mem.flip_bit(p.addr(0), 5);  // flipping twice restores the value
+  EXPECT_EQ(mem.read<std::uint32_t>(p.addr(0)), 0u);
+}
+
+TEST(CheckMacros, ComparisonMacrosPrintBothOperands) {
+  try {
+    const int rows = 3, cols = 7;
+    TLP_CHECK_EQ(rows, cols);
+    FAIL() << "expected CheckError";
+  } catch (const tlp::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rows == cols"), std::string::npos);
+    EXPECT_NE(what.find('3'), std::string::npos);
+    EXPECT_NE(what.find('7'), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace tlp::sim

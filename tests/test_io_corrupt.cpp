@@ -1,0 +1,174 @@
+// Regression tests for graph-loader hardening: malformed edge lists,
+// corrupt MatrixMarket headers/bodies, and truncated binary-CSR streams must
+// fail with descriptive tlp::CheckError (with line numbers for text formats)
+// instead of crashing or silently mis-parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+#include "graph/io.hpp"
+
+namespace tlp::graph {
+namespace {
+
+/// Runs `fn` expecting CheckError and returns its message.
+template <class Fn>
+std::string error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const tlp::CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected tlp::CheckError";
+  return {};
+}
+
+TEST(EdgeListCorrupt, MalformedLineReportsLineNumber) {
+  std::istringstream in("0 1\n1 2\nnot numbers\n");
+  const std::string msg = error_of([&] { (void)read_edge_list(in); });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("not numbers"), std::string::npos) << msg;
+}
+
+TEST(EdgeListCorrupt, CommentLinesStillCountTowardLineNumbers) {
+  std::istringstream in("# header\n0 1\nbroken\n");
+  const std::string msg = error_of([&] { (void)read_edge_list(in); });
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(EdgeListCorrupt, NegativeIdReportsLineNumber) {
+  std::istringstream in("0 1\n-4 2\n");
+  const std::string msg = error_of([&] { (void)read_edge_list(in); });
+  EXPECT_NE(msg.find("negative"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(EdgeListCorrupt, OverflowingIdRejectedNotWrapped) {
+  // 2^33 would truncate to 0 if narrowed blindly into a 32-bit VertexId.
+  std::istringstream in("0 8589934592\n");
+  const std::string msg = error_of([&] { (void)read_edge_list(in); });
+  EXPECT_NE(msg.find("overflow"), std::string::npos) << msg;
+}
+
+TEST(EdgeListCorrupt, NumVerticesTooSmallMentionsBothNumbers) {
+  std::istringstream in("0 9\n");
+  const std::string msg =
+      error_of([&] { (void)read_edge_list(in, /*num_vertices=*/5); });
+  EXPECT_NE(msg.find('5'), std::string::npos) << msg;
+  EXPECT_NE(msg.find('9'), std::string::npos) << msg;
+}
+
+TEST(MatrixMarketCorrupt, MissingBanner) {
+  std::istringstream in("3 3 1\n1 2\n");
+  const std::string msg = error_of([&] { (void)read_matrix_market(in); });
+  EXPECT_NE(msg.find("banner"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarketCorrupt, MalformedSizeLine) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\nxx\n");
+  const std::string msg = error_of([&] { (void)read_matrix_market(in); });
+  EXPECT_NE(msg.find("size line"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarketCorrupt, NonSquareRejected) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n"
+                        "3 4 1\n1 2\n");
+  const std::string msg = error_of([&] { (void)read_matrix_market(in); });
+  EXPECT_NE(msg.find("square"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarketCorrupt, TruncatedBodyReportsProgress) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n"
+                        "3 3 5\n1 2\n2 3\n");
+  const std::string msg = error_of([&] { (void)read_matrix_market(in); });
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find('5'), std::string::npos) << msg;
+  EXPECT_NE(msg.find('2'), std::string::npos) << msg;
+}
+
+TEST(MatrixMarketCorrupt, OutOfRangeIndexReportsLineNumber) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n"
+                        "% a comment\n"
+                        "3 3 2\n1 2\n7 1\n");
+  const std::string msg = error_of([&] { (void)read_matrix_market(in); });
+  EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+}
+
+TEST(MatrixMarketCorrupt, NegativeDimensionsRejected) {
+  std::istringstream in("%%MatrixMarket matrix coordinate real general\n"
+                        "-3 -3 1\n1 1\n");
+  const std::string msg = error_of([&] { (void)read_matrix_market(in); });
+  EXPECT_NE(msg.find("negative"), std::string::npos) << msg;
+}
+
+class BinaryCsrCorrupt : public ::testing::Test {
+ protected:
+  /// A valid serialized 3-vertex / 2-edge graph to corrupt.
+  std::string valid_bytes() {
+    Csr g({0, 0, 1, 2}, {0, 1});
+    std::ostringstream out(std::ios::binary);
+    write_binary_csr(out, g);
+    return out.str();
+  }
+};
+
+TEST_F(BinaryCsrCorrupt, RoundTripStillWorks) {
+  std::istringstream in(valid_bytes(), std::ios::binary);
+  const Csr g = read_binary_csr(in);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST_F(BinaryCsrCorrupt, BadMagicRejected) {
+  std::string bytes = valid_bytes();
+  bytes[0] = 'X';
+  std::istringstream in(bytes, std::ios::binary);
+  const std::string msg = error_of([&] { (void)read_binary_csr(in); });
+  EXPECT_NE(msg.find("magic"), std::string::npos) << msg;
+}
+
+TEST_F(BinaryCsrCorrupt, EmptyStreamRejected) {
+  std::istringstream in(std::string(), std::ios::binary);
+  const std::string msg = error_of([&] { (void)read_binary_csr(in); });
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+}
+
+TEST_F(BinaryCsrCorrupt, HeaderCutMidCountRejected) {
+  std::istringstream in(valid_bytes().substr(0, 12), std::ios::binary);
+  const std::string msg = error_of([&] { (void)read_binary_csr(in); });
+  EXPECT_NE(msg.find("vertex count"), std::string::npos) << msg;
+}
+
+TEST_F(BinaryCsrCorrupt, TruncatedBodyReportsByteCounts) {
+  const std::string bytes = valid_bytes();
+  std::istringstream in(bytes.substr(0, bytes.size() - 4), std::ios::binary);
+  const std::string msg = error_of([&] { (void)read_binary_csr(in); });
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("indices"), std::string::npos) << msg;
+}
+
+TEST_F(BinaryCsrCorrupt, NegativeCountsRejected) {
+  std::string bytes = valid_bytes();
+  // The vertex count is the little-endian int64 at offset 8; make it huge
+  // and negative by setting the sign byte.
+  bytes[15] = static_cast<char>(0x80);
+  std::istringstream in(bytes, std::ios::binary);
+  const std::string msg = error_of([&] { (void)read_binary_csr(in); });
+  EXPECT_NE(msg.find("negative"), std::string::npos) << msg;
+}
+
+TEST_F(BinaryCsrCorrupt, CorruptIndicesCaughtByValidation) {
+  std::string bytes = valid_bytes();
+  // The last 4 bytes are indices[1]; point it at vertex 200 of a 3-vertex
+  // graph. Csr's constructor validation must reject it.
+  bytes[bytes.size() - 4] = static_cast<char>(200);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW((void)read_binary_csr(in), tlp::CheckError);
+}
+
+}  // namespace
+}  // namespace tlp::graph

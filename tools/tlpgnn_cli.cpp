@@ -4,6 +4,9 @@
 //                   [--graph file.el] [--feature 32] [--heads 1]
 //                   [--max-edges N] [--full] [--gpu-scale D] [--seed S]
 //                   [--check] [--repeat R]
+//                   [--memcheck] [--device-mem-gb G]
+//                   [--oom-at N] [--fail-launch N]
+//                   [--flip-at N] [--flip-bits B] [--flip-alloc I]
 //   tlpgnn_cli gen  --out graph.el [--dataset RD | --vertices N --edges M
 //                   --alpha A] [--max-edges N] [--format el|mtx|bin]
 //   tlpgnn_cli info [--dataset PD | --graph file.el]
@@ -11,6 +14,16 @@
 // `run` executes one graph convolution on any system and prints the
 // Nsight-style profile; `gen` materializes dataset replicas to disk;
 // `info` prints graph statistics.
+//
+// Fault-model flags (see DESIGN.md "Fault model & memory safety"):
+//   --memcheck        run with guarded device memory (redzones, poison,
+//                     use-after-free and write-race detection)
+//   --device-mem-gb G cap simulated device memory at G GiB; OutOfMemory
+//                     degrades the tlpgnn system to partitioned execution
+//   --oom-at N        inject an allocation failure at the Nth device alloc
+//   --fail-launch N   fail the Nth kernel launch
+//   --flip-at N       flip --flip-bits random bits before the Nth launch,
+//                     in allocation --flip-alloc (0-based; -1 = random)
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -19,6 +32,7 @@
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "core/engine.hpp"
 #include "graph/datasets.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -54,6 +68,19 @@ models::ModelKind parse_model(const Args& args) {
   __builtin_unreachable();
 }
 
+sim::DeviceOptions device_options(const Args& args) {
+  sim::DeviceOptions opts;
+  if (args.get_bool("memcheck", false))
+    opts.mem_mode = sim::MemoryMode::kGuarded;
+  opts.faults.oom_at_alloc = args.get_int("oom-at", 0);
+  opts.faults.fail_launch = args.get_int("fail-launch", 0);
+  opts.faults.flip_at_launch = args.get_int("flip-at", 0);
+  opts.faults.flip_bits = static_cast<int>(args.get_int("flip-bits", 1));
+  opts.faults.flip_alloc = args.get_int("flip-alloc", -1);
+  opts.faults.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return opts;
+}
+
 int cmd_run(const Args& args) {
   const graph::Csr g = load_graph(args);
   const models::ModelKind kind = parse_model(args);
@@ -66,17 +93,34 @@ int cmd_run(const Args& args) {
   const tensor::Tensor feat = tensor::Tensor::random(g.num_vertices(), f, rng);
   const models::ConvSpec spec = models::ConvSpec::make(kind, f, rng, heads);
 
-  auto sys = systems::make_system(sysname);
-  std::printf("%s | %s | %s | F=%lld%s\n", sys->name().c_str(),
+  const int gpu_scale = static_cast<int>(args.get_int("gpu-scale", 1));
+  const double mem_gb = args.get_double("device-mem-gb", 0.0);
+  const std::int64_t mem_bytes =
+      mem_gb > 0 ? static_cast<std::int64_t>(mem_gb * (1LL << 30)) : 0;
+
+  std::printf("%s | %s | %s | F=%lld%s\n", sysname.c_str(),
               models::model_name(kind), g.summary().c_str(),
               static_cast<long long>(f),
               heads > 1 ? (" | heads=" + std::to_string(heads)).c_str() : "");
 
-  const int gpu_scale = static_cast<int>(args.get_int("gpu-scale", 1));
-  sim::Device dev(sim::GpuSpec::v100_scaled(gpu_scale));
   Timer wall;
   systems::RunResult r;
-  for (int i = 0; i < repeat; ++i) r = sys->run(dev, g, feat, spec);
+  if (sysname == "tlpgnn") {
+    // The library entry point: capacity enforcement plus the partitioned
+    // OutOfMemory fallback live behind Engine::conv.
+    EngineOptions eopts;
+    eopts.gpu = sim::GpuSpec::v100_scaled(gpu_scale);
+    eopts.device_memory_bytes = mem_bytes;
+    eopts.device = device_options(args);
+    Engine engine(eopts);
+    for (int i = 0; i < repeat; ++i) r = engine.conv(g, feat, spec);
+  } else {
+    auto sys = systems::make_system(sysname);
+    sim::GpuSpec spec_gpu = sim::GpuSpec::v100_scaled(gpu_scale);
+    if (mem_bytes > 0) spec_gpu.memory_bytes = mem_bytes;
+    sim::Device dev(spec_gpu, device_options(args));
+    for (int i = 0; i < repeat; ++i) r = sys->run(dev, g, feat, spec);
+  }
   const double host_s = wall.seconds();
 
   TextTable t({"metric", "value"});
@@ -99,7 +143,14 @@ int cmd_run(const Args& args) {
   t.add_row({"peak device memory",
              human_bytes(static_cast<double>(r.peak_device_bytes))});
   t.add_row({"host wall time", fixed(host_s * 1e3, 1) + " ms"});
+  if (r.degradation.degraded) {
+    t.add_row({"degraded (OutOfMemory fallback)",
+               std::to_string(r.degradation.partitions) + " partitions, " +
+                   std::to_string(r.degradation.retries) + " retries"});
+  }
   t.print();
+  if (r.degradation.degraded)
+    std::printf("degradation cause: %s\n", r.degradation.reason.c_str());
 
   if (args.get_bool("check", false)) {
     const tensor::Tensor ref = models::reference_conv(g, feat, spec);
