@@ -1,0 +1,73 @@
+#include "analysis/analyzer.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "models/model.hpp"
+#include "sim/device.hpp"
+#include "systems/system.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tlp::analysis {
+
+std::vector<LintDataset> default_lint_datasets() {
+  std::vector<LintDataset> ds;
+  {
+    Rng rng(101);
+    ds.push_back({"pl2k", graph::power_law(2048, 16384, 2.2, rng), 64, 13});
+  }
+  {
+    Rng rng(202);
+    ds.push_back({"rmat1k", graph::rmat(1024, 8192, rng), 64, 17});
+  }
+  return ds;
+}
+
+std::vector<std::string> lint_system_names() {
+  return {"tlpgnn", "dgl", "gnnadvisor", "featgraph", "push", "edge", "pull"};
+}
+
+LintReport lint_systems(const std::vector<std::string>& systems,
+                        const std::vector<LintDataset>& datasets,
+                        const PassOptions& opt) {
+  LintReport report;
+  for (const std::string& name : systems) {
+    for (const LintDataset& ds : datasets) {
+      auto sys = systems::make_system(name);
+      Rng rng(ds.seed);
+      const tensor::Tensor feat =
+          tensor::Tensor::random(ds.graph.num_vertices(), ds.feature_size,
+                                 rng);
+      // GCN runs everywhere; GAT adds the fused/softmax pipelines on the
+      // systems that support it. Together they launch every kernel family.
+      for (const models::ModelKind kind :
+           {models::ModelKind::kGcn, models::ModelKind::kGat}) {
+        if (!sys->supports(kind, /*big_graph=*/false)) continue;
+        Rng spec_rng(ds.seed + 1);
+        const models::ConvSpec spec =
+            models::ConvSpec::make(kind, ds.feature_size, spec_rng);
+        sim::Device dev;
+        sim::AccessTrace trace;
+        dev.attach_trace(&trace);
+        (void)sys->run(dev, ds.graph, feat, spec);
+        dev.attach_trace(nullptr);
+
+        std::vector<Diagnostic> diags = analyze_trace(trace, opt);
+        for (Diagnostic& d : diags) {
+          d.system = sys->name();
+          d.dataset = ds.name;
+        }
+        report.diagnostics.insert(report.diagnostics.end(),
+                                  std::make_move_iterator(diags.begin()),
+                                  std::make_move_iterator(diags.end()));
+        report.trace_truncated |= trace.truncated();
+        report.launches += static_cast<std::int64_t>(trace.kernels().size());
+        ++report.runs;
+      }
+    }
+  }
+  sort_diagnostics(report.diagnostics);
+  return report;
+}
+
+}  // namespace tlp::analysis

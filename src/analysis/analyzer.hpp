@@ -1,0 +1,46 @@
+// tlpsan driver: runs the framework replicas on small synthetic graphs with
+// an access trace attached and feeds the trace through the analysis passes.
+// This is the engine behind the `tlplint` CLI and the CI diagnostics gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/pass.hpp"
+#include "graph/csr.hpp"
+
+namespace tlp::analysis {
+
+/// One synthetic lint workload. Small on purpose: traces are per-lane, and
+/// the pathologies the passes hunt (races, uncoalesced column reads, hub
+/// contention) already manifest at a few thousand vertices.
+struct LintDataset {
+  std::string name;
+  graph::Csr graph;
+  std::int64_t feature_size = 64;
+  std::uint64_t seed = 7;
+};
+
+/// The stock lint workloads: a power-law graph (hub contention, skewed
+/// degrees) and an R-MAT graph (community structure, degree-1 tails that
+/// exercise divergence). Both deterministic.
+std::vector<LintDataset> default_lint_datasets();
+
+/// Every registered system name, lint order (paper's baselines + TLPGNN).
+std::vector<std::string> lint_system_names();
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  bool trace_truncated = false;
+  int runs = 0;            ///< (system, dataset, model) combinations executed
+  std::int64_t launches = 0;  ///< kernel launches analyzed
+};
+
+/// Runs each named system on each dataset (GCN everywhere, GAT where the
+/// system supports it), traces every launch, and runs all passes. Throws
+/// CheckError on unknown system names.
+LintReport lint_systems(const std::vector<std::string>& systems,
+                        const std::vector<LintDataset>& datasets,
+                        const PassOptions& opt = {});
+
+}  // namespace tlp::analysis

@@ -1,0 +1,155 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace tlp::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::key() const {
+  std::string k;
+  k += rule;
+  k += '|';
+  k += system;
+  k += '|';
+  k += kernel;
+  k += '|';
+  k += site;
+  if (!site2.empty()) {
+    k += '|';
+    k += site2;
+  }
+  return k;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.severity != b.severity)
+                return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+              if (a.suppressed != b.suppressed) return !a.suppressed;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.system != b.system) return a.system < b.system;
+              if (a.dataset != b.dataset) return a.dataset < b.dataset;
+              if (a.kernel != b.kernel) return a.kernel < b.kernel;
+              return a.site < b.site;
+            });
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Diagnostic>& diags, bool truncated) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"tlplint\",\n  \"version\": 1,\n"
+     << "  \"trace_truncated\": " << (truncated ? "true" : "false") << ",\n"
+     << "  \"diagnostics\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << "    {\n"
+       << "      \"key\": \"" << json_escape(d.key()) << "\",\n"
+       << "      \"rule\": \"" << json_escape(d.rule) << "\",\n"
+       << "      \"severity\": \"" << severity_name(d.severity) << "\",\n"
+       << "      \"suppressed\": " << (d.suppressed ? "true" : "false")
+       << ",\n";
+    if (d.suppressed) {
+      os << "      \"suppress_reason\": \"" << json_escape(d.suppress_reason)
+         << "\",\n";
+    }
+    os << "      \"system\": \"" << json_escape(d.system) << "\",\n"
+       << "      \"dataset\": \"" << json_escape(d.dataset) << "\",\n"
+       << "      \"kernel\": \"" << json_escape(d.kernel) << "\",\n"
+       << "      \"site\": \"" << json_escape(d.site) << "\",\n";
+    if (!d.site2.empty())
+      os << "      \"site2\": \"" << json_escape(d.site2) << "\",\n";
+    if (!d.location.empty())
+      os << "      \"location\": \"" << json_escape(d.location) << "\",\n";
+    os << "      \"metric\": " << d.metric << ",\n"
+       << "      \"count\": " << d.count << ",\n"
+       << "      \"message\": \"" << json_escape(d.message) << "\"\n"
+       << "    }" << (i + 1 < diags.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::vector<std::string> keys_from_json(const std::string& json) {
+  std::vector<std::string> keys;
+  const std::string needle = "\"key\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    pos = json.find(':', pos);
+    if (pos == std::string::npos) break;
+    pos = json.find('"', pos);
+    if (pos == std::string::npos) break;
+    const std::size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    keys.push_back(json.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return keys;
+}
+
+std::vector<Diagnostic> new_versus_baseline(
+    const std::vector<Diagnostic>& diags,
+    const std::vector<std::string>& baseline_keys) {
+  const std::set<std::string> known(baseline_keys.begin(),
+                                    baseline_keys.end());
+  std::set<std::string> reported;
+  std::vector<Diagnostic> fresh;
+  for (const Diagnostic& d : diags) {
+    if (d.suppressed) continue;
+    const std::string k = d.key();
+    if (known.count(k) != 0 || !reported.insert(k).second) continue;
+    fresh.push_back(d);
+  }
+  return fresh;
+}
+
+}  // namespace tlp::analysis

@@ -1,0 +1,64 @@
+#include "analysis/pass.hpp"
+
+#include <sstream>
+
+#include "analysis/passes.hpp"
+
+namespace tlp::analysis {
+
+std::vector<std::unique_ptr<Pass>> default_passes() {
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.push_back(std::make_unique<RacePass>());
+  passes.push_back(std::make_unique<CoalescingPass>());
+  passes.push_back(std::make_unique<DivergencePass>());
+  passes.push_back(std::make_unique<AtomicContentionPass>());
+  passes.push_back(std::make_unique<RedundantLoadPass>());
+  return passes;
+}
+
+namespace {
+
+std::string site_location(const sim::AccessSite& s) {
+  if (s.file.empty()) return {};
+  std::ostringstream os;
+  // Path tails keep diagnostics stable across checkout locations.
+  const std::size_t cut = s.file.find("src/");
+  os << (cut == std::string::npos ? s.file : s.file.substr(cut)) << ':'
+     << s.line;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> analyze_trace(const sim::AccessTrace& trace,
+                                      const PassOptions& opt) {
+  const auto passes = default_passes();
+  const sim::SiteRegistry& reg = sim::SiteRegistry::instance();
+
+  std::vector<Diagnostic> diags;
+  for (const sim::KernelTrace& kt : trace.kernels()) {
+    for (const auto& pass : passes) pass->run(kt, opt, diags);
+  }
+
+  for (Diagnostic& d : diags) {
+    const sim::AccessSite& site = reg.site(d.site_id);
+    const sim::AccessSite& site2 = reg.site(d.site2_id);
+    if (d.site.empty()) d.site = site.label;
+    if (d.site2.empty() && d.site2_id != 0) d.site2 = site2.label;
+    if (d.location.empty()) d.location = site_location(site);
+    // A site that declares this rule expected downgrades the finding: still
+    // reported, never gating. Either end of a race pair may carry the
+    // suppression (the annotated baseline kernel, not its victim).
+    const bool sup1 = site.suppresses(d.rule);
+    const bool sup2 = d.site2_id != 0 && site2.suppresses(d.rule);
+    if (sup1 || sup2) {
+      d.suppressed = true;
+      d.suppress_reason =
+          sup1 ? site.suppress_reason : site2.suppress_reason;
+      d.severity = Severity::kNote;
+    }
+  }
+  return diags;
+}
+
+}  // namespace tlp::analysis

@@ -1,0 +1,72 @@
+// tlpsan pass framework: each pass inspects one kernel launch's access trace
+// and emits diagnostics. Passes are pure trace consumers — they never touch
+// the simulator — so they compose freely and are trivially testable against
+// seeded kernels (tests/test_analysis.cpp).
+//
+// The five stock passes (default_passes):
+//   RacePass             TLP-RACE-001  happens-before race detection
+//   CoalescingPass       TLP-COAL-002  uncoalesced access sites
+//   DivergencePass       TLP-DIV-003   lane-activity imbalance
+//   AtomicContentionPass TLP-ATOM-004  hottest atomic addresses
+//   RedundantLoadPass    TLP-RED-005   re-fetched addresses (register
+//                                      caching candidates)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "sim/trace.hpp"
+
+namespace tlp::analysis {
+
+/// Tunable thresholds. Defaults are calibrated so the paper's *intended*
+/// kernel properties pass cleanly and the known pathologies (edge-centric
+/// column reads, push-kernel hub contention) fire.
+struct PassOptions {
+  // CoalescingPass: flag a site when its average sectors-per-request exceeds
+  // `coalesce_ratio` x the perfectly coalesced sector count, over at least
+  // `min_requests` vector requests.
+  double coalesce_ratio = 4.0;
+  std::int64_t min_requests = 16;
+
+  // DivergencePass: flag a kernel whose vector requests average fewer than
+  // `divergence_floor` of 32 lanes active (over >= min_requests requests).
+  double divergence_floor = 0.5;
+
+  // AtomicContentionPass: report the top `atomic_top_k` addresses; flag when
+  // the hottest address absorbs >= `atomic_hot_ops` atomic lane-ops.
+  int atomic_top_k = 3;
+  std::int64_t atomic_hot_ops = 64;
+
+  // RedundantLoadPass: flag a site once >= `redundant_loads` fetches hit an
+  // address whose value the same warp already held with no intervening
+  // store to it.
+  std::int64_t redundant_loads = 64;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// The single rule id this pass emits.
+  [[nodiscard]] virtual std::string rule() const = 0;
+
+  /// Analyzes one kernel launch; appends findings to `out`. The driver fills
+  /// system/dataset fields and applies site suppressions afterwards.
+  virtual void run(const sim::KernelTrace& kt, const PassOptions& opt,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+/// All five stock passes, in rule-id order.
+std::vector<std::unique_ptr<Pass>> default_passes();
+
+/// Runs every pass over every kernel launch of `trace`, resolves site
+/// suppressions (a diagnostic whose primary site expects its rule is marked
+/// suppressed and downgraded to a note), and returns the combined findings.
+std::vector<Diagnostic> analyze_trace(const sim::AccessTrace& trace,
+                                      const PassOptions& opt = {});
+
+}  // namespace tlp::analysis

@@ -30,6 +30,7 @@ void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
       std::min<std::int64_t>(sim::kWarpSize, coo_.m - base)));
 
   // Coalesced loads of the edge endpoints.
+  warp.site(TLP_SITE("edge_endpoints"));
   WVec<std::int64_t> eidx{};
   for (int l = 0; l < sim::kWarpSize; ++l)
     eidx[static_cast<std::size_t>(l)] = base + l;
@@ -39,6 +40,10 @@ void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
   WVec<float> w{};
   for (auto& x : w) x = 1.0f;
   if (conv_.kind == ModelKind::kGcn) {
+    warp.site(TLP_SITE_SUPPRESS(
+        "edge_norm_gather", "TLP-COAL-002",
+        "edge parallelism gathers norms of 32 unrelated endpoints per "
+        "request; the paper's edge-centric baseline accepts this (Table 5)"));
     WVec<std::int64_t> sidx{}, didx{};
     for (int l = 0; l < sim::kWarpSize; ++l) {
       sidx[static_cast<std::size_t>(l)] = src[static_cast<std::size_t>(l)];
@@ -53,7 +58,18 @@ void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
   }
 
   // Lane l walks all feature dimensions of its edge: both the gather and the
-  // atomic scatter hit 32 different rows per request — uncoalesced.
+  // atomic scatter hit 32 different rows per request — uncoalesced. tlpsan
+  // still reports the finding (as a note), but it never gates: the column-
+  // major walk is inherent to the edge-parallel layout the paper compares
+  // against, not a fixable defect in this replica.
+  const sim::AccessSite* gather_site = TLP_SITE_SUPPRESS(
+      "edge_feat_gather", "TLP-COAL-002",
+      "column-major feature walk of 32 unrelated source rows is inherent to "
+      "edge parallelism; kept as the paper's Table 5 baseline behavior");
+  const sim::AccessSite* scatter_site = TLP_SITE_SUPPRESS(
+      "edge_out_scatter", "TLP-COAL-002",
+      "atomic scatter to 32 unrelated destination rows is inherent to edge "
+      "parallelism; kept as the paper's Table 5 baseline behavior");
   for (std::int64_t dim = 0; dim < f_; ++dim) {
     WVec<std::int64_t> fidx{}, oidx{};
     for (int l = 0; l < sim::kWarpSize; ++l) {
@@ -63,12 +79,15 @@ void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
       oidx[static_cast<std::size_t>(l)] =
           static_cast<std::int64_t>(dst[static_cast<std::size_t>(l)]) * f_ + dim;
     }
+    warp.site(gather_site);
     WVec<float> x = warp.load_f32(feat_, fidx, m);
     for (int l = 0; l < sim::kWarpSize; ++l)
       x[static_cast<std::size_t>(l)] *= w[static_cast<std::size_t>(l)];
     warp.charge_alu(1);
+    warp.site(scatter_site);
     warp.atomic_add_f32(out_, oidx, x, m);
   }
+  warp.site(nullptr);
 }
 
 }  // namespace tlp::kernels

@@ -12,6 +12,7 @@ using sim::WVec;
 
 void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
   // Register caching (§6): index boundary and the destination half.
+  warp.site(TLP_SITE("gat_indptr"));
   const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
   const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
   const std::int64_t deg = end - start;
@@ -42,6 +43,7 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
       Batch b;
       b.n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e0));
       b.m = sim::lanes_below(b.n);
+      warp.site(TLP_SITE("gat_logit_batch"));
       WVec<std::int64_t> eidx{};
       for (int l = 0; l < b.n; ++l) eidx[static_cast<std::size_t>(l)] = e0 + l;
       b.us = warp.load_i32(g_.indices, eidx, b.m);
@@ -93,6 +95,7 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
         warp.charge_alu(5);
         const auto u =
             static_cast<std::int64_t>(b.us[static_cast<std::size_t>(l)]);
+        warp.site(TLP_SITE("gat_nbr_gather"));
         for (int c = 0; c < chunks; ++c) {
           const Mask m = slice_chunk_mask(lo, hi, c);
           const WVec<float> x =
@@ -105,6 +108,7 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
         }
       }
     }
+    warp.site(TLP_SITE("gat_out_store"));
     for (int c = 0; c < chunks; ++c)
       warp.store_f32(out_, slice_chunk_idx(v, f_, lo, c),
                      acc[static_cast<std::size_t>(c)],

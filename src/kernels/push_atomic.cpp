@@ -23,6 +23,7 @@ std::string PushKernel::name() const {
 }
 
 void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
+  warp.site(TLP_SITE("push_indptr"));
   const std::int64_t start = warp.load_scalar_i64(g_.indptr, v);
   const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
   const int chunks = num_chunks(f_);
@@ -30,6 +31,7 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
   const float norm_v = is_gcn ? warp.load_scalar_f32(g_.norm, v) : 0.0f;
 
   // Own feature cached in registers: loaded once, pushed along every edge.
+  warp.site(TLP_SITE("push_self_feat"));
   std::array<WVec<float>, kMaxChunks> self{};
   for (int c = 0; c < chunks; ++c) {
     self[static_cast<std::size_t>(c)] =
@@ -47,11 +49,13 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
       WVec<float> msg = self[static_cast<std::size_t>(c)];
       for (auto& x : msg) x *= self_scale;
       warp.charge_alu(1);
+      warp.site(TLP_SITE("push_self_scatter"));
       warp.atomic_add_f32(out_, chunk_idx(v, f_, c), msg, m);
     }
   }
 
   for (std::int64_t e = start; e < end; ++e) {
+    warp.site(TLP_SITE("push_edge_walk"));
     const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
     float w = 1.0f;
     if (is_gcn) {
@@ -64,7 +68,10 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
       for (auto& x : msg) x *= w;
       warp.charge_alu(1);
       // The destination row is shared with every other in-neighbor of u:
-      // atomic write per edge (the Observation I traffic).
+      // atomic write per edge (the Observation I traffic). Deliberately NOT
+      // suppressed: TLP-ATOM-004 firing here is the paper's Observation I,
+      // and the baseline file is where that known warning lives.
+      warp.site(TLP_SITE("push_edge_scatter"));
       warp.atomic_add_f32(out_, chunk_idx(u, f_, c), msg, m);
     }
     warp.charge_alu(1);

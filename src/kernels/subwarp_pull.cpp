@@ -46,6 +46,7 @@ void SubwarpPullKernel::run_item(WarpCtx& warp, std::int64_t item) {
   if (leaders == 0) return;
   WVec<std::int64_t> vidx1 = vidx;
   for (auto& x : vidx1) ++x;
+  warp.site(TLP_SITE("subwarp_indptr"));
   const WVec<std::int64_t> starts = warp.load_i64(g_.indptr, vidx, leaders);
   const WVec<std::int64_t> ends = warp.load_i64(g_.indptr, vidx1, leaders);
 
@@ -82,6 +83,7 @@ void SubwarpPullKernel::run_item(WarpCtx& warp, std::int64_t item) {
             starts[static_cast<std::size_t>(lane)] + it;
       }
     }
+    warp.site(TLP_SITE("subwarp_edge_walk"));
     const WVec<std::int32_t> us = warp.load_i32(g_.indices, eidx, active_leaders);
     WVec<float> w{};
     if (is_gcn) {
@@ -116,6 +118,7 @@ void SubwarpPullKernel::run_item(WarpCtx& warp, std::int64_t item) {
         }
       }
       if (m == 0) continue;
+      warp.site(TLP_SITE("subwarp_nbr_gather"));
       const WVec<float> x = warp.load_f32(feat_, fidx, m);
       for (int s = 0; s < vpw_; ++s) {
         const int lane0 = s * lpv_;
@@ -135,6 +138,7 @@ void SubwarpPullKernel::run_item(WarpCtx& warp, std::int64_t item) {
   }
 
   // Epilogue: self term / mean, then stores with the same lane layout.
+  warp.site(TLP_SITE("subwarp_epilogue"));
   for (int c = 0; c < nchunks; ++c) {
     WVec<std::int64_t> oidx{};
     WVec<float> val{};

@@ -45,6 +45,12 @@ class Device {
   [[nodiscard]] MemorySystem& sys() { return sys_; }
   [[nodiscard]] DeviceMemory& mem() { return sys_.mem; }
 
+  /// Attaches (or with nullptr detaches) a tlpsan access-trace recorder.
+  /// Recording covers every subsequent launch; the caller owns the trace and
+  /// must keep it alive while attached. Costs nothing when detached.
+  void attach_trace(AccessTrace* trace) { sys_.trace = trace; }
+  [[nodiscard]] AccessTrace* trace() const { return sys_.trace; }
+
   /// Allocates and copies host data to the device (cudaMemcpy H2D analogue).
   template <class T>
   DevPtr<T> upload(std::span<const T> host) {

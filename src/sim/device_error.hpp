@@ -27,12 +27,12 @@ class DeviceError : public CheckError {
 /// Allocation would exceed device capacity, or an injected allocation fault.
 class OutOfMemory : public DeviceError {
  public:
-  OutOfMemory(const std::string& what, std::int64_t requested_bytes,
-              std::int64_t live_bytes, std::int64_t capacity_bytes)
+  OutOfMemory(const std::string& what, std::int64_t requested,
+              std::int64_t live, std::int64_t capacity)
       : DeviceError(what),
-        requested_bytes(requested_bytes),
-        live_bytes(live_bytes),
-        capacity_bytes(capacity_bytes) {}
+        requested_bytes(requested),
+        live_bytes(live),
+        capacity_bytes(capacity) {}
 
   std::int64_t requested_bytes = 0;
   std::int64_t live_bytes = 0;
@@ -43,9 +43,9 @@ class OutOfMemory : public DeviceError {
 /// out-of-bounds) or inside a freed allocation (use-after-free).
 class InvalidAccess : public DeviceError {
  public:
-  InvalidAccess(const std::string& what, std::uint64_t byte_addr,
-                std::string kernel)
-      : DeviceError(what), byte_addr(byte_addr), kernel(std::move(kernel)) {}
+  InvalidAccess(const std::string& what, std::uint64_t addr,
+                std::string kernel_name)
+      : DeviceError(what), byte_addr(addr), kernel(std::move(kernel_name)) {}
 
   std::uint64_t byte_addr = 0;
   std::string kernel;  ///< empty when no kernel was running
@@ -54,11 +54,11 @@ class InvalidAccess : public DeviceError {
 /// Two warps stored non-atomically to the same address within one kernel.
 class WriteRace : public InvalidAccess {
  public:
-  WriteRace(const std::string& what, std::uint64_t byte_addr,
-            std::string kernel, std::int64_t warp_a, std::int64_t warp_b)
-      : InvalidAccess(what, byte_addr, std::move(kernel)),
-        warp_a(warp_a),
-        warp_b(warp_b) {}
+  WriteRace(const std::string& what, std::uint64_t addr,
+            std::string kernel_name, std::int64_t wa, std::int64_t wb)
+      : InvalidAccess(what, addr, std::move(kernel_name)),
+        warp_a(wa),
+        warp_b(wb) {}
 
   std::int64_t warp_a = -1;
   std::int64_t warp_b = -1;
@@ -67,8 +67,8 @@ class WriteRace : public InvalidAccess {
 /// A kernel launch failed (fault injection; mirrors cudaLaunchKernel errors).
 class LaunchFailure : public DeviceError {
  public:
-  LaunchFailure(const std::string& what, std::string kernel)
-      : DeviceError(what), kernel(std::move(kernel)) {}
+  LaunchFailure(const std::string& what, std::string kernel_name)
+      : DeviceError(what), kernel(std::move(kernel_name)) {}
 
   std::string kernel;
 };

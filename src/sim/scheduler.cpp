@@ -98,6 +98,7 @@ void run_hardware_dynamic(MemorySystem& sys, WarpKernel& kernel,
     const std::int64_t hi = std::min<std::int64_t>(n, lo + wpb);
     for (std::int64_t item = lo; item < hi; ++item) {
       WarpCtx warp(sys, sm, /*warp_id=*/item);
+      warp.begin_item(item);
       kernel.run_item(warp, item);
       rec.issue_cycles += warp.issue_cycles();
       rec.mem_stall_cycles += warp.mem_cycles();
@@ -143,8 +144,10 @@ void run_static_chunk(MemorySystem& sys, WarpKernel& kernel,
       WarpCtx warp(sys, sm, /*warp_id=*/w);
       const std::int64_t lo = w * chunk;
       const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
-      for (std::int64_t item = lo; item < hi; ++item)
+      for (std::int64_t item = lo; item < hi; ++item) {
+        warp.begin_item(item);
         kernel.run_item(warp, item);
+      }
       rec.issue_cycles += warp.issue_cycles();
       rec.mem_stall_cycles += warp.mem_cycles();
       rec.warps++;
@@ -205,8 +208,13 @@ void run_software_pool(MemorySystem& sys, WarpKernel& kernel,
     WarpCtx warp(sys, sm, /*warp_id=*/w);
     const double grab_time = std::max(t, pool_available);
     pool_available = grab_time + spec.pool_grab_gap_cycles;
+    warp.site(TLP_SITE_SUPPRESS(
+        "pool_grab", "TLP-ATOM-004",
+        "Algorithm 1's software work pool serializes on one global counter "
+        "by design; the paper accepts this cost for dynamic balance"));
     const std::uint32_t sindex = warp.atomic_add_u32(
         pool, 0, static_cast<std::uint32_t>(step));
+    warp.site(nullptr);
     double t_new = grab_time + warp.total_cycles();
     warp.reset_costs();
     if (sindex >= n) {
@@ -218,8 +226,10 @@ void run_software_pool(MemorySystem& sys, WarpKernel& kernel,
     }
     const std::int64_t lo = sindex;
     const std::int64_t hi = std::min<std::int64_t>(n, lo + step);
-    for (std::int64_t item = lo; item < hi; ++item)
+    for (std::int64_t item = lo; item < hi; ++item) {
+      warp.begin_item(item);
       kernel.run_item(warp, item);
+    }
     rec.issue_cycles += warp.issue_cycles();
     rec.mem_stall_cycles += warp.mem_cycles();
     t_new += warp.total_cycles();
@@ -242,10 +252,11 @@ namespace {
 /// memory raises InvalidAccess/WriteRace mid-execution; the device must stay
 /// usable for the caller's error handling).
 struct KernelScope {
-  KernelScope(MemorySystem& sys, KernelRecord& rec)
-      : sys(sys), prev(sys.rec) {
+  KernelScope(MemorySystem& mem_sys, KernelRecord& rec)
+      : sys(mem_sys), prev(mem_sys.rec) {
     sys.rec = &rec;
     sys.mem.begin_kernel(rec.name);
+    if (sys.trace != nullptr) sys.trace->begin_kernel(rec.name);
   }
   ~KernelScope() {
     sys.mem.end_kernel();

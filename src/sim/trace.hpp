@@ -1,0 +1,152 @@
+// Access-trace recorder — the data source for the tlpsan analysis passes
+// (src/analysis/).
+//
+// When an AccessTrace is attached to a MemorySystem, every warp-level global
+// memory request is recorded as a TraceAccess: which warp issued it, from
+// which static access site, the per-lane byte addresses, the access width,
+// and whether it was a load, a plain store, or an atomic. Kernel launch
+// boundaries partition the trace; within a launch warps are concurrent,
+// across launches the implicit device synchronization orders everything —
+// the happens-before structure the race pass exploits.
+//
+// Access sites: kernels annotate groups of memory operations with
+// TLP_SITE("label") so diagnostics can name the source construct instead of
+// a raw address. Sites are interned once per call location (function-local
+// static), so their ids are stable for the lifetime of the process. A site
+// can carry suppressions — rule ids that are *expected* to fire there (e.g.
+// the edge-centric baseline's uncoalesced feature gather, which the paper
+// documents as the motivating pathology) — recorded with a reason so the
+// finding stays visible in reports without failing the diagnostics gate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlp::sim {
+
+inline constexpr int kTraceWarpSize = 32;
+
+/// A static source location that issues global-memory accesses. Interned by
+/// SiteRegistry; `id` 0 is reserved for "unannotated".
+struct AccessSite {
+  std::uint32_t id = 0;
+  std::string label;
+  std::string file;
+  int line = 0;
+  /// Rule ids (e.g. "TLP-COAL-002") expected to fire at this site, with the
+  /// justification that goes into the diagnostic report.
+  std::vector<std::string> suppressed_rules;
+  std::string suppress_reason;
+
+  [[nodiscard]] bool suppresses(const std::string& rule) const;
+};
+
+/// Process-wide interning table for access sites. Single-threaded, like the
+/// simulator itself.
+class SiteRegistry {
+ public:
+  static SiteRegistry& instance();
+
+  /// Interns a site. `suppress` is an optional space-separated list of rule
+  /// ids expected at this site; `reason` documents why. Call once per static
+  /// location (the TLP_SITE macros guarantee this).
+  const AccessSite* intern(const char* label, const char* file, int line,
+                           const char* suppress = nullptr,
+                           const char* reason = nullptr);
+
+  /// Site by id; id 0 (and unknown ids) return the shared "unannotated" site.
+  [[nodiscard]] const AccessSite& site(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t size() const { return sites_.size(); }
+
+ private:
+  SiteRegistry();
+  // Deque-like stability: sites are handed out by pointer, so store by
+  // unique address. A vector of pointers keeps ids dense.
+  std::vector<AccessSite*> sites_;
+};
+
+/// Marks subsequent accesses on `warp` as belonging to the named site:
+///   warp.site(TLP_SITE("feat_gather"));
+#define TLP_SITE(label_str)                                              \
+  ([]() -> const ::tlp::sim::AccessSite* {                               \
+    static const ::tlp::sim::AccessSite* s =                             \
+        ::tlp::sim::SiteRegistry::instance().intern(label_str, __FILE__, \
+                                                    __LINE__);           \
+    return s;                                                            \
+  }())
+
+/// Like TLP_SITE, but declares that the listed rules (space-separated) are
+/// expected to fire here, with a human-readable justification.
+#define TLP_SITE_SUPPRESS(label_str, rules_str, reason_str)              \
+  ([]() -> const ::tlp::sim::AccessSite* {                               \
+    static const ::tlp::sim::AccessSite* s =                             \
+        ::tlp::sim::SiteRegistry::instance().intern(label_str, __FILE__, \
+                                                    __LINE__, rules_str, \
+                                                    reason_str);         \
+    return s;                                                            \
+  }())
+
+enum class AccessKind : std::uint8_t { kLoad, kStore, kAtomic };
+
+const char* access_kind_name(AccessKind k);
+
+/// One warp-level memory request: up to 32 lane addresses issued together.
+struct TraceAccess {
+  std::int64_t warp = -1;   ///< launch-unique warp id
+  std::int64_t item = -1;   ///< work item being executed (WarpKernel item)
+  std::uint32_t site = 0;   ///< AccessSite id (0 = unannotated)
+  std::uint32_t slot = 0;   ///< per-warp-context request ordinal
+  AccessKind kind = AccessKind::kLoad;
+  std::uint8_t bytes = 4;   ///< bytes per lane
+  bool scalar = false;      ///< single-lane broadcast access (not divergence)
+  std::uint32_t mask = 0;   ///< active lanes
+  std::array<std::uint64_t, kTraceWarpSize> addr{};  ///< per-lane byte addrs
+
+  [[nodiscard]] int active_lanes() const;
+  /// Distinct 32 B sectors the active lanes touch (the coalescing metric).
+  [[nodiscard]] int sectors() const;
+};
+
+/// All requests of one kernel launch, in simulation order. Simulation order
+/// interleaves warps arbitrarily; only per-warp order is meaningful.
+struct KernelTrace {
+  std::string kernel;
+  int launch_index = 0;
+  std::vector<TraceAccess> accesses;
+};
+
+/// Per-launch access recorder. Attach to a Device (Device::attach_trace) to
+/// opt in; recording costs nothing when detached. A byte budget caps runaway
+/// traces: when exhausted, recording stops and `truncated()` reports how many
+/// accesses were dropped so no pass mistakes a capped trace for full
+/// coverage.
+class AccessTrace {
+ public:
+  /// `max_bytes` bounds the memory the recorder may hold (approximate,
+  /// counted in sizeof(TraceAccess) units). 0 = unbounded.
+  explicit AccessTrace(std::size_t max_bytes = std::size_t{1} << 30)
+      : max_bytes_(max_bytes) {}
+
+  void begin_kernel(const std::string& name);
+  void record(const TraceAccess& a);
+
+  [[nodiscard]] const std::vector<KernelTrace>& kernels() const {
+    return kernels_;
+  }
+  [[nodiscard]] bool truncated() const { return dropped_ > 0; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::int64_t recorded() const { return recorded_; }
+
+  void clear();
+
+ private:
+  std::vector<KernelTrace> kernels_;
+  std::size_t max_bytes_ = 0;
+  std::int64_t recorded_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace tlp::sim

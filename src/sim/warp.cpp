@@ -30,11 +30,28 @@ struct LineEntry {
 }  // namespace
 
 void WarpCtx::request(const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
-                      int bytes_per_lane, Op op) {
+                      int bytes_per_lane, Op op, bool scalar) {
   if (m == 0) return;
   auto& sys = *sys_;
   KernelRecord& rec = *sys.rec;
   const GpuSpec& spec = sys.spec;
+
+  if (sys.trace != nullptr) {
+    TraceAccess ta;
+    ta.warp = warp_id_;
+    ta.item = item_;
+    ta.site = site_ != nullptr ? site_->id : 0;
+    ta.slot = slot_;
+    ta.kind = op == Op::kLoad    ? AccessKind::kLoad
+              : op == Op::kStore ? AccessKind::kStore
+                                 : AccessKind::kAtomic;
+    ta.bytes = static_cast<std::uint8_t>(bytes_per_lane);
+    ta.scalar = scalar;
+    ta.mask = m;
+    ta.addr = addr;
+    sys.trace->record(ta);
+  }
+  ++slot_;
 
   // Dedupe lane addresses into 128 B lines with per-line 32 B sector masks.
   // Accesses are element-aligned, so a lane never straddles a sector.
@@ -249,7 +266,7 @@ float WarpCtx::load_scalar_f32(DevPtr<float> base, std::int64_t idx) {
   std::array<std::uint64_t, kWarpSize> addr{};
   addr[0] = base.addr(idx);
   const float v = sys_->mem.read<float>(addr[0]);
-  request(addr, 0x1u, 4, Op::kLoad);
+  request(addr, 0x1u, 4, Op::kLoad, /*scalar=*/true);
   return v;
 }
 
@@ -258,7 +275,7 @@ std::int32_t WarpCtx::load_scalar_i32(DevPtr<std::int32_t> base,
   std::array<std::uint64_t, kWarpSize> addr{};
   addr[0] = base.addr(idx);
   const auto v = sys_->mem.read<std::int32_t>(addr[0]);
-  request(addr, 0x1u, 4, Op::kLoad);
+  request(addr, 0x1u, 4, Op::kLoad, /*scalar=*/true);
   return v;
 }
 
@@ -267,7 +284,7 @@ std::int64_t WarpCtx::load_scalar_i64(DevPtr<std::int64_t> base,
   std::array<std::uint64_t, kWarpSize> addr{};
   addr[0] = base.addr(idx);
   const auto v = sys_->mem.read<std::int64_t>(addr[0]);
-  request(addr, 0x1u, 8, Op::kLoad);
+  request(addr, 0x1u, 8, Op::kLoad, /*scalar=*/true);
   return v;
 }
 
@@ -276,7 +293,7 @@ void WarpCtx::store_scalar_f32(DevPtr<float> base, std::int64_t idx, float v) {
   addr[0] = base.addr(idx);
   sys_->mem.write<float>(addr[0], v);
   note_store(addr[0], 4, /*atomic=*/false);
-  request(addr, 0x1u, 4, Op::kStore);
+  request(addr, 0x1u, 4, Op::kStore, /*scalar=*/true);
 }
 
 std::uint32_t WarpCtx::atomic_add_u32(DevPtr<std::uint32_t> base,
@@ -286,7 +303,7 @@ std::uint32_t WarpCtx::atomic_add_u32(DevPtr<std::uint32_t> base,
   const auto old = sys_->mem.read<std::uint32_t>(addr[0]);
   sys_->mem.write<std::uint32_t>(addr[0], old + add);
   note_store(addr[0], 4, /*atomic=*/true);
-  request(addr, 0x1u, 4, Op::kAtomic);
+  request(addr, 0x1u, 4, Op::kAtomic, /*scalar=*/true);
   sys_->rec->atomic_ops += 1;
   return old;
 }
@@ -298,7 +315,7 @@ float WarpCtx::atomic_add_scalar_f32(DevPtr<float> base, std::int64_t idx,
   const float old = sys_->mem.read<float>(addr[0]);
   sys_->mem.write<float>(addr[0], old + v);
   note_store(addr[0], 4, /*atomic=*/true);
-  request(addr, 0x1u, 4, Op::kAtomic);
+  request(addr, 0x1u, 4, Op::kAtomic, /*scalar=*/true);
   sys_->rec->atomic_ops += 1;
   return old;
 }

@@ -15,6 +15,7 @@
 #include "sim/counters.hpp"
 #include "sim/device_memory.hpp"
 #include "sim/gpu_spec.hpp"
+#include "sim/trace.hpp"
 
 namespace tlp::sim {
 
@@ -42,6 +43,8 @@ struct MemorySystem {
   std::vector<SetAssocCache> l1;  ///< one per SM
   SetAssocCache l2;
   KernelRecord* rec = nullptr;  ///< current kernel's counters
+  /// Opt-in access recorder for the tlpsan analysis passes; null = off.
+  AccessTrace* trace = nullptr;
   /// Tests can disable tag simulation to get pure compulsory traffic.
   bool model_caches = true;
 
@@ -105,13 +108,24 @@ class WarpCtx {
   [[nodiscard]] int sm() const { return sm_; }
   [[nodiscard]] std::int64_t warp_id() const { return warp_id_; }
 
+  /// Declares the static access site the following memory operations belong
+  /// to (tlpsan annotation; see sim/trace.hpp). Sticky until changed.
+  void site(const AccessSite* s) { site_ = s; }
+  [[nodiscard]] const AccessSite* site() const { return site_; }
+
+  /// Called by the scheduler before each run_item: tags traced accesses with
+  /// the work item, the register-lifetime scope the redundant-load pass uses.
+  void begin_item(std::int64_t item) { item_ = item; }
+
  private:
   enum class Op { kLoad, kStore, kAtomic };
 
   /// Core of the memory model: dedupes lane addresses into 32 B sectors and
   /// 128 B lines, probes the caches, charges latency, and records traffic.
+  /// `scalar` marks single-lane broadcast accesses so the divergence pass
+  /// does not mistake them for masked-out lanes.
   void request(const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
-               int bytes_per_lane, Op op);
+               int bytes_per_lane, Op op, bool scalar = false);
 
   /// Guarded-memory hook: reports one store lane to the write-race detector.
   void note_store(std::uint64_t addr, int bytes, bool atomic) {
@@ -124,6 +138,9 @@ class WarpCtx {
   std::int64_t warp_id_ = -1;
   double issue_ = 0;
   double mem_ = 0;
+  const AccessSite* site_ = nullptr;
+  std::int64_t item_ = -1;
+  std::uint32_t slot_ = 0;  ///< request ordinal within this context
 };
 
 }  // namespace tlp::sim

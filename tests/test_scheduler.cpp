@@ -88,8 +88,8 @@ INSTANTIATE_TEST_SUITE_P(AllAssignments, SchedulerTest,
                          ::testing::Values(Assignment::kHardwareDynamic,
                                            Assignment::kStaticChunk,
                                            Assignment::kSoftwarePool),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& suite_info) {
+                           switch (suite_info.param) {
                              case Assignment::kHardwareDynamic:
                                return "hardware";
                              case Assignment::kStaticChunk:

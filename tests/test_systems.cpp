@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
                           "edge", "pull"),
         ::testing::Values(ModelKind::kGcn, ModelKind::kGin, ModelKind::kSage,
                           ModelKind::kGat)),
-    [](const auto& info) {
-      return std::get<0>(info.param) +
-             std::string("_") + models::model_name(std::get<1>(info.param));
+    [](const auto& suite_info) {
+      return std::get<0>(suite_info.param) + std::string("_") +
+             models::model_name(std::get<1>(suite_info.param));
     });
 
 TEST(SystemMatrix, SupportFlags) {

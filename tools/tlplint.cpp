@@ -1,0 +1,161 @@
+// tlplint — the tlpsan command-line front end.
+//
+// Runs every registered GNN system (or a --systems subset) on the stock
+// synthetic lint graphs with an access trace attached, feeds the traces
+// through the analysis passes, and reports the diagnostics:
+//
+//   tlplint                          # human-readable report, exit 0/1
+//   tlplint --json report.json       # also write the machine-readable report
+//   tlplint --baseline tools/tlplint_baseline.json
+//                                    # gate: exit 1 on any NEW unsuppressed
+//                                    # diagnostic not in the baseline
+//   tlplint --update-baseline tools/tlplint_baseline.json
+//                                    # refresh the checked-in baseline
+//
+// Without --baseline, the exit code is 1 when any unsuppressed error-severity
+// diagnostic exists (useful locally); with --baseline, only *new* findings
+// gate, so known paper-documented pathologies stay visible without breaking
+// CI. See README.md ("Linting the kernels") for the workflow.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/diagnostics.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using tlp::analysis::Diagnostic;
+using tlp::analysis::Severity;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "tlplint: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "tlplint: cannot write " << path << "\n";
+    std::exit(2);
+  }
+  out << content;
+}
+
+void print_report(const std::vector<Diagnostic>& diags) {
+  tlp::TextTable table(
+      {"severity", "rule", "system", "dataset", "kernel", "site", "count"});
+  for (const Diagnostic& d : diags) {
+    std::string site = d.site;
+    if (!d.site2.empty()) site += " / " + d.site2;
+    table.add_row({std::string(severity_name(d.severity)) +
+                       (d.suppressed ? " (suppressed)" : ""),
+                   d.rule, d.system, d.dataset, d.kernel, site,
+                   std::to_string(d.count)});
+  }
+  if (table.num_rows() > 0) table.print();
+
+  for (const Diagnostic& d : diags) {
+    std::cout << "\n" << severity_name(d.severity) << " " << d.rule << " ["
+              << d.system << "/" << d.dataset << "/" << d.kernel << "]";
+    if (!d.location.empty()) std::cout << " at " << d.location;
+    std::cout << "\n  " << d.message << "\n";
+    if (d.suppressed)
+      std::cout << "  suppressed: " << d.suppress_reason << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tlp::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "usage: tlplint [--systems=a,b,..] [--json PATH]\n"
+        << "               [--baseline PATH | --update-baseline PATH]\n"
+        << "Runs tlpsan over every registered system on the synthetic lint\n"
+        << "graphs. Exits 1 on new-vs-baseline findings (with --baseline)\n"
+        << "or on any unsuppressed error (without).\n";
+    return 0;
+  }
+
+  std::vector<std::string> systems =
+      tlp::analysis::lint_system_names();
+  if (args.has("systems")) systems = split_csv(args.get("systems", ""));
+
+  const std::vector<tlp::analysis::LintDataset> datasets =
+      tlp::analysis::default_lint_datasets();
+
+  std::cerr << "tlplint: analyzing " << systems.size() << " systems x "
+            << datasets.size() << " datasets...\n";
+  const tlp::analysis::LintReport report =
+      tlp::analysis::lint_systems(systems, datasets);
+
+  int errors = 0, warnings = 0, notes = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.suppressed || d.severity == Severity::kNote)
+      ++notes;
+    else if (d.severity == Severity::kError)
+      ++errors;
+    else
+      ++warnings;
+  }
+
+  print_report(report.diagnostics);
+  std::cout << "\ntlplint: " << report.runs << " runs, " << report.launches
+            << " launches analyzed; " << errors << " errors, " << warnings
+            << " warnings, " << notes << " notes (suppressed/informational)";
+  if (report.trace_truncated) std::cout << " [trace truncated]";
+  std::cout << "\n";
+
+  const std::string json =
+      tlp::analysis::to_json(report.diagnostics, report.trace_truncated);
+  if (args.has("json")) write_file(args.get("json", ""), json);
+  if (args.has("update-baseline")) {
+    write_file(args.get("update-baseline", ""), json);
+    std::cout << "tlplint: baseline updated ("
+              << report.diagnostics.size() << " diagnostics)\n";
+    return 0;
+  }
+
+  if (args.has("baseline")) {
+    const std::vector<std::string> baseline_keys =
+        tlp::analysis::keys_from_json(read_file(args.get("baseline", "")));
+    const std::vector<Diagnostic> fresh =
+        tlp::analysis::new_versus_baseline(report.diagnostics, baseline_keys);
+    if (!fresh.empty()) {
+      std::cout << "\ntlplint: " << fresh.size()
+                << " NEW diagnostic(s) not in baseline:\n";
+      for (const Diagnostic& d : fresh)
+        std::cout << "  " << d.key() << "\n    " << d.message << "\n";
+      std::cout << "If intended, refresh with: tlplint --update-baseline "
+                << args.get("baseline", "") << "\n";
+      return 1;
+    }
+    std::cout << "tlplint: no new diagnostics versus baseline ("
+              << baseline_keys.size() << " baselined keys)\n";
+    return 0;
+  }
+
+  return errors > 0 ? 1 : 0;
+}
