@@ -1,0 +1,286 @@
+#include "fuzz/case_gen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace tlp::fuzz {
+
+using graph::Csr;
+using graph::EdgeOffset;
+using graph::VertexId;
+using models::ModelKind;
+
+const char* shape_name(GraphShape s) {
+  switch (s) {
+    case GraphShape::kChungLu: return "chung_lu";
+    case GraphShape::kErdosRenyi: return "erdos_renyi";
+    case GraphShape::kRmat: return "rmat";
+    case GraphShape::kStar: return "star";
+    case GraphShape::kChain: return "chain";
+    case GraphShape::kClique: return "clique";
+    case GraphShape::kRing: return "ring";
+    case GraphShape::kGrid: return "grid";
+    case GraphShape::kIsolated: return "isolated";
+    case GraphShape::kSingle: return "single";
+    case GraphShape::kSelfLoops: return "self_loops";
+    case GraphShape::kDuplicateEdges: return "dup_edges";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* assignment_name(sim::Assignment a) {
+  switch (a) {
+    case sim::Assignment::kHardwareDynamic: return "hw";
+    case sim::Assignment::kStaticChunk: return "static";
+    case sim::Assignment::kSoftwarePool: return "pool";
+  }
+  return "?";
+}
+
+/// Feature widths biased toward the interesting boundaries: 1, warp-width
+/// multiples, and off-by-one neighbors of the 32-wide chunk size.
+constexpr std::int64_t kFeatureWidths[] = {1, 2, 3, 7, 8,  16,  31,
+                                           32, 33, 48, 64, 100, 128};
+
+void draw_shape_dims(CaseSpec& c, Rng& rng) {
+  switch (c.shape) {
+    case GraphShape::kChungLu:
+      c.n = static_cast<VertexId>(4 + rng.next_below(297));
+      c.m = static_cast<EdgeOffset>(rng.next_below(
+          static_cast<std::uint64_t>(c.n) * 8 + 1));
+      c.alpha = 2.0 + rng.next_double();
+      break;
+    case GraphShape::kErdosRenyi:
+      c.n = static_cast<VertexId>(2 + rng.next_below(299));
+      c.m = static_cast<EdgeOffset>(rng.next_below(
+          static_cast<std::uint64_t>(c.n) * 6 + 1));
+      break;
+    case GraphShape::kRmat:
+      c.n = static_cast<VertexId>(4 + rng.next_below(253));
+      c.m = static_cast<EdgeOffset>(rng.next_below(
+          static_cast<std::uint64_t>(c.n) * 6 + 1));
+      break;
+    case GraphShape::kStar:
+      c.n = static_cast<VertexId>(2 + rng.next_below(199));
+      c.m = 0;
+      break;
+    case GraphShape::kChain:
+      c.n = static_cast<VertexId>(1 + rng.next_below(200));
+      c.m = 0;
+      break;
+    case GraphShape::kClique:
+      c.n = static_cast<VertexId>(2 + rng.next_below(31));
+      c.m = 0;
+      break;
+    case GraphShape::kRing:
+      c.n = static_cast<VertexId>(4 + rng.next_below(197));
+      c.m = static_cast<EdgeOffset>(1 + rng.next_below(
+          std::min<std::uint64_t>(8, static_cast<std::uint64_t>(c.n) - 1)));
+      break;
+    case GraphShape::kGrid:
+      c.n = static_cast<VertexId>(2 + rng.next_below(11));  // rows
+      c.m = static_cast<EdgeOffset>(2 + rng.next_below(11));  // cols
+      break;
+    case GraphShape::kIsolated:
+      c.n = static_cast<VertexId>(1 + rng.next_below(100));
+      c.m = 0;
+      break;
+    case GraphShape::kSingle:
+      c.n = 1;
+      c.m = static_cast<EdgeOffset>(rng.next_below(2));  // 1 = add self loop
+      break;
+    case GraphShape::kSelfLoops:
+      c.n = static_cast<VertexId>(2 + rng.next_below(99));
+      c.m = static_cast<EdgeOffset>(rng.next_below(
+          static_cast<std::uint64_t>(c.n) * 4 + 1));
+      break;
+    case GraphShape::kDuplicateEdges:
+      c.n = static_cast<VertexId>(2 + rng.next_below(99));
+      c.m = static_cast<EdgeOffset>(1 + rng.next_below(
+          static_cast<std::uint64_t>(c.n) * 3 + 1));
+      break;
+  }
+}
+
+void draw_model_and_launch(CaseSpec& c, Rng& rng) {
+  c.f = kFeatureWidths[rng.next_below(std::size(kFeatureWidths))];
+  c.model = models::kAllModels[rng.next_below(4)];
+  c.heads = 1;
+  if (c.model == ModelKind::kGat) {
+    for (const int h : {4, 2}) {
+      if (c.f % h == 0 && rng.next_bool(0.4)) {
+        c.heads = h;
+        break;
+      }
+    }
+  }
+  c.edge_weights = c.model != ModelKind::kGat && rng.next_bool(0.2);
+
+  constexpr sim::Assignment kAssignments[] = {
+      sim::Assignment::kHardwareDynamic, sim::Assignment::kStaticChunk,
+      sim::Assignment::kSoftwarePool};
+  c.launch.assignment = kAssignments[rng.next_below(3)];
+  constexpr int kWpb[] = {4, 8, 16};
+  c.launch.warps_per_block = kWpb[rng.next_below(3)];
+  constexpr int kStep[] = {1, 8, 16};
+  c.launch.pool_step = kStep[rng.next_below(3)];
+  c.launch.grid_blocks =
+      rng.next_bool(0.15) ? static_cast<int>(1 + rng.next_below(8)) : 0;
+}
+
+}  // namespace
+
+std::string CaseSpec::summary() const {
+  std::ostringstream os;
+  os << "case " << id << " seed=0x" << std::hex << seed << std::dec << " "
+     << shape_name(shape) << " n=" << n << " m=" << m << " f=" << f << " "
+     << models::model_name(model);
+  if (heads > 1) os << " heads=" << heads;
+  if (edge_weights) os << " ew";
+  os << " " << assignment_name(launch.assignment)
+     << " wpb=" << launch.warps_per_block;
+  if (launch.grid_blocks > 0) os << " grid=" << launch.grid_blocks;
+  return os.str();
+}
+
+CaseSpec generate_case(std::uint64_t id, Rng& rng) {
+  CaseSpec c;
+  c.id = id;
+  c.seed = rng.next_u64();
+  // Derive every case field from the case's own seed so the amount of fuzz
+  // stream consumed per case is exactly one draw.
+  Rng cr(c.seed);
+  c.shape = static_cast<GraphShape>(cr.next_below(kNumGraphShapes));
+  draw_shape_dims(c, cr);
+  draw_model_and_launch(c, cr);
+  return c;
+}
+
+CaseSpec mutate_case(const CaseSpec& base, std::uint64_t id, Rng& rng) {
+  CaseSpec c = base;
+  c.id = id;
+  c.seed = rng.next_u64();
+  Rng cr(c.seed);
+  // Keep the shape (that is what earned the corpus slot); re-draw the sizes
+  // around the base and re-roll model/launch so the same structure is
+  // exercised under different configs.
+  switch (cr.next_below(3)) {
+    case 0:  // resize
+      draw_shape_dims(c, cr);
+      break;
+    case 1:  // grow/shrink the existing dims
+      c.n = std::max<graph::VertexId>(
+          c.shape == GraphShape::kSingle ? 1 : 2,
+          static_cast<graph::VertexId>(static_cast<double>(c.n) *
+                                       (0.5 + cr.next_double())));
+      break;
+    default:
+      break;  // structure unchanged; only model/launch below
+  }
+  draw_model_and_launch(c, cr);
+  return c;
+}
+
+Csr build_graph(const CaseSpec& c) {
+  Rng rng(c.seed ^ 0x67aff5ULL);
+  switch (c.shape) {
+    case GraphShape::kChungLu:
+      return graph::power_law(c.n, c.m, c.alpha, rng);
+    case GraphShape::kErdosRenyi: {
+      // erdos_renyi draws distinct pairs; keep m under the possible maximum.
+      const EdgeOffset cap =
+          static_cast<EdgeOffset>(c.n) * (static_cast<EdgeOffset>(c.n) - 1) / 2;
+      return graph::erdos_renyi(c.n, std::min(c.m, cap), rng);
+    }
+    case GraphShape::kRmat:
+      return graph::rmat(c.n, c.m, rng);
+    case GraphShape::kStar:
+      return graph::star(c.n);
+    case GraphShape::kChain:
+      return graph::path(c.n);
+    case GraphShape::kClique:
+      return graph::complete(c.n);
+    case GraphShape::kRing:
+      return graph::regular_ring(c.n, static_cast<int>(c.m));
+    case GraphShape::kGrid:
+      return graph::grid2d(c.n, static_cast<VertexId>(c.m));
+    case GraphShape::kIsolated:
+      return graph::build_csr(c.n, {});
+    case GraphShape::kSingle:
+      return c.m > 0
+                 ? graph::build_csr(1, {{0, 0}}, {.dedup = false})
+                 : graph::build_csr(1, {});
+    case GraphShape::kSelfLoops: {
+      std::vector<graph::Edge> edges;
+      for (EdgeOffset e = 0; e < c.m; ++e) {
+        edges.push_back(
+            {static_cast<VertexId>(rng.next_below(
+                 static_cast<std::uint64_t>(c.n))),
+             static_cast<VertexId>(rng.next_below(
+                 static_cast<std::uint64_t>(c.n)))});
+      }
+      return graph::build_csr(c.n, std::move(edges),
+                              {.dedup = false, .add_self_loops = true});
+    }
+    case GraphShape::kDuplicateEdges: {
+      std::vector<graph::Edge> edges;
+      for (EdgeOffset e = 0; e < c.m; ++e) {
+        const auto s = static_cast<VertexId>(
+            rng.next_below(static_cast<std::uint64_t>(c.n)));
+        auto d = static_cast<VertexId>(
+            rng.next_below(static_cast<std::uint64_t>(c.n)));
+        if (d == s) d = (d + 1) % c.n;
+        edges.push_back({s, d});
+        edges.push_back({s, d});  // guaranteed duplicate
+      }
+      return graph::build_csr(c.n, std::move(edges),
+                              {.dedup = false, .drop_self_loops = true});
+    }
+  }
+  TLP_CHECK(false);
+  return {};
+}
+
+tensor::Tensor make_features(const CaseSpec& c, const Csr& g) {
+  Rng rng(c.seed ^ 0xfea75ULL);
+  return tensor::Tensor::random(g.num_vertices(), c.f, rng);
+}
+
+models::ConvSpec make_conv_spec(const CaseSpec& c, const Csr& g) {
+  Rng rng(c.seed ^ 0x5bec5ULL);
+  models::ConvSpec spec = models::ConvSpec::make(c.model, c.f, rng, c.heads);
+  if (c.edge_weights) {
+    spec.edge_weights.resize(static_cast<std::size_t>(g.num_edges()));
+    for (auto& w : spec.edge_weights) w = rng.next_float() * 2.0f;
+  }
+  return spec;
+}
+
+std::uint64_t coverage_key(const CaseSpec& c, const Csr& g) {
+  auto log2_bucket = [](std::int64_t v) -> std::uint64_t {
+    std::uint64_t b = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  };
+  std::uint64_t key = static_cast<std::uint64_t>(c.shape);
+  key = key * 31 + log2_bucket(g.num_vertices());
+  key = key * 31 + log2_bucket(g.num_edges());
+  key = key * 31 + log2_bucket(g.num_vertices() > 0 ? g.max_degree() : 0);
+  key = key * 31 + log2_bucket(c.f);
+  key = key * 31 + static_cast<std::uint64_t>(c.model);
+  key = key * 31 + static_cast<std::uint64_t>(c.launch.assignment);
+  key = key * 31 + static_cast<std::uint64_t>(c.edge_weights);
+  return key;
+}
+
+}  // namespace tlp::fuzz

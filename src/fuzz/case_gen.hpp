@@ -1,0 +1,79 @@
+// Seed-deterministic fuzz-case generation.
+//
+// A CaseSpec is a compact, replayable description of one fuzz iteration: the
+// graph shape (including the pathological fixtures — star hubs, chains,
+// cliques, isolated vertices, self loops, duplicate edges), the feature
+// width, the model, and the launch policy. Everything downstream (the graph,
+// the feature matrix, the ConvSpec weights) is derived purely from the
+// case's seed, so any failure replays from its one-line summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "models/model.hpp"
+#include "sim/kernel.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tlp::fuzz {
+
+enum class GraphShape {
+  kChungLu,         ///< power-law expected degrees (graph::power_law)
+  kErdosRenyi,      ///< uniform random edges
+  kRmat,            ///< Graph500-style recursive matrix
+  kStar,            ///< all vertices point at a single hub
+  kChain,           ///< directed path
+  kClique,          ///< complete directed graph
+  kRing,            ///< k-regular ring lattice
+  kGrid,            ///< 2-D grid, symmetric
+  kIsolated,        ///< n vertices, zero edges
+  kSingle,          ///< one vertex, optionally with a self loop
+  kSelfLoops,       ///< random edges plus a self loop on every vertex
+  kDuplicateEdges,  ///< random edges, each repeated (multigraph)
+};
+inline constexpr int kNumGraphShapes = 12;
+
+const char* shape_name(GraphShape s);
+
+struct CaseSpec {
+  std::uint64_t id = 0;    ///< iteration ordinal (for logs)
+  std::uint64_t seed = 0;  ///< sole source of randomness for this case
+  GraphShape shape = GraphShape::kChungLu;
+  graph::VertexId n = 16;   ///< vertices (rows for kGrid)
+  graph::EdgeOffset m = 0;  ///< edges (cols for kGrid, k for kRing)
+  double alpha = 2.2;       ///< power-law exponent (kChungLu only)
+  std::int64_t f = 16;      ///< feature width
+  models::ModelKind model = models::ModelKind::kGcn;
+  int heads = 1;  ///< GAT heads; divides f
+  bool edge_weights = false;
+  sim::LaunchConfig launch{};
+
+  /// One-line replayable description, e.g.
+  /// "case 17 seed=0x... chung_lu n=120 m=900 f=33 gcn hw".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Draws case `id` from the fuzz stream. Consumes a fixed amount of `rng`
+/// state per call, so case k is identical no matter which oracles ran for
+/// cases 0..k-1.
+CaseSpec generate_case(std::uint64_t id, Rng& rng);
+
+/// Coverage-guided mutation: a small deterministic perturbation of a corpus
+/// case (resize the graph, change the feature width or model, keep the
+/// shape) used when a previous case uncovered a new coverage signature.
+CaseSpec mutate_case(const CaseSpec& base, std::uint64_t id, Rng& rng);
+
+/// Materializes the case. All three are pure functions of the spec.
+graph::Csr build_graph(const CaseSpec& c);
+tensor::Tensor make_features(const CaseSpec& c, const graph::Csr& g);
+models::ConvSpec make_conv_spec(const CaseSpec& c, const graph::Csr& g);
+
+/// Coverage signature: a coarse bucketing of the case's structural features
+/// (shape, |V|, |E|, max degree, f, model, launch policy). New signatures
+/// feed the corpus that mutate_case draws from.
+[[nodiscard]] std::uint64_t coverage_key(const CaseSpec& c,
+                                         const graph::Csr& g);
+
+}  // namespace tlp::fuzz

@@ -1,0 +1,47 @@
+// Kernel strategies under differential test, behind one uniform signature.
+//
+// Each runner drives one kernel strategy end to end on a fresh simulated
+// device — upload, compose the launches the strategy needs (pre-zero fills,
+// epilogues), download — and returns the convolution output to compare
+// against models::reference_conv. mutant_runners() returns the same shape of
+// object for the deliberately broken kernels the --expect-bugs self-check
+// mode must catch; those carry expected_bug = true.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "models/model.hpp"
+#include "sim/device.hpp"
+#include "sim/kernel.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tlp::fuzz {
+
+struct KernelRunner {
+  std::string name;
+  /// True for the seeded-bug mutants: the harness must FLAG these.
+  bool expected_bug = false;
+  /// Whether this strategy can express the given convolution.
+  std::function<bool(const models::ConvSpec&)> supports;
+  /// Runs the strategy; `cfg` is the launch policy under test.
+  std::function<tensor::Tensor(sim::Device&, const graph::Csr&,
+                               const tensor::Tensor&,
+                               const models::ConvSpec&,
+                               const sim::LaunchConfig&)>
+      run;
+};
+
+/// The real strategies: gather_pull (both register-cache variants),
+/// subwarp_pull at several widths, the SpMM pipeline, push_atomic,
+/// edge_centric, and fused_gat.
+const std::vector<KernelRunner>& kernel_runners();
+
+/// Deliberately broken kernels, each encoding one classic GNN-kernel bug
+/// (row-bound off-by-one, dropped self term, swapped norm, truncated feature
+/// tail, unguarded zero-degree mean).
+const std::vector<KernelRunner>& mutant_runners();
+
+}  // namespace tlp::fuzz

@@ -1,0 +1,159 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/subgraph.hpp"
+
+namespace tlp::fuzz {
+
+using graph::Csr;
+using graph::Edge;
+using graph::EdgeOffset;
+using graph::VertexId;
+
+namespace {
+
+struct Budget {
+  const FailurePredicate& pred;
+  std::uint64_t max_evals;
+  std::uint64_t evals = 0;
+
+  [[nodiscard]] bool exhausted() const { return evals >= max_evals; }
+  bool fails(const Csr& g) {
+    ++evals;
+    return pred(g);
+  }
+};
+
+/// One greedy ddmin sweep over the vertex set: at each granularity, keep
+/// removing the first chunk whose removal preserves the failure.
+void reduce_vertices(Csr& cur, Budget& b) {
+  for (VertexId chunk = std::max<VertexId>(1, cur.num_vertices() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed && !b.exhausted()) {
+      removed = false;
+      const VertexId n = cur.num_vertices();
+      if (n <= 1 || chunk >= n) break;
+      for (VertexId lo = 0; lo < n && !b.exhausted(); lo += chunk) {
+        std::vector<bool> keep(static_cast<std::size_t>(n), true);
+        for (VertexId i = lo; i < std::min<VertexId>(lo + chunk, n); ++i) {
+          keep[static_cast<std::size_t>(i)] = false;
+        }
+        Csr cand = graph::induced_subgraph(cur, keep).csr;
+        if (b.fails(cand)) {
+          cur = std::move(cand);
+          removed = true;
+          break;  // rescan from the front at the same granularity
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+}
+
+/// Same sweep over the edge multiset (the vertex count stays fixed).
+void reduce_edges(Csr& cur, Budget& b) {
+  const VertexId n = cur.num_vertices();
+  std::vector<Edge> edges = graph::to_edge_list(cur);
+  auto rebuild = [n](const std::vector<Edge>& es) {
+    return graph::build_csr(n, es, {.dedup = false});
+  };
+  for (std::size_t chunk = std::max<std::size_t>(1, edges.size() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed && !b.exhausted()) {
+      removed = false;
+      if (edges.empty() || chunk > edges.size()) break;
+      for (std::size_t lo = 0; lo + chunk <= edges.size() && !b.exhausted();
+           lo += chunk) {
+        std::vector<Edge> cand_edges;
+        cand_edges.reserve(edges.size() - chunk);
+        cand_edges.insert(cand_edges.end(), edges.begin(),
+                          edges.begin() + static_cast<std::ptrdiff_t>(lo));
+        cand_edges.insert(
+            cand_edges.end(),
+            edges.begin() + static_cast<std::ptrdiff_t>(lo + chunk),
+            edges.end());
+        Csr cand = rebuild(cand_edges);
+        if (b.fails(cand)) {
+          edges = std::move(cand_edges);
+          cur = rebuild(edges);
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+}
+
+}  // namespace
+
+MinimizeResult minimize_graph(const Csr& start,
+                              const FailurePredicate& still_fails,
+                              std::uint64_t max_evals) {
+  MinimizeResult res;
+  res.start_vertices = start.num_vertices();
+  res.start_edges = start.num_edges();
+  Budget b{still_fails, max_evals};
+  TLP_CHECK_MSG(b.fails(start),
+                "minimize_graph: the starting graph does not fail");
+  Csr cur = start;
+  // Alternate vertex and edge sweeps until a full round makes no progress:
+  // dropping edges isolates vertices that the next vertex sweep can drop.
+  while (!b.exhausted()) {
+    const VertexId n_before = cur.num_vertices();
+    const EdgeOffset m_before = cur.num_edges();
+    reduce_vertices(cur, b);
+    reduce_edges(cur, b);
+    reduce_vertices(cur, b);
+    if (cur.num_vertices() == n_before && cur.num_edges() == m_before) break;
+  }
+  res.graph = std::move(cur);
+  res.evals = b.evals;
+  return res;
+}
+
+void write_repro(const std::string& path, const Csr& g) {
+  std::ofstream out(path);
+  TLP_CHECK_MSG(out.good(), "cannot open repro file for writing: " << path);
+  out << "# tlpfuzz repro\n";
+  out << "# vertices " << g.num_vertices() << "\n";
+  for (const Edge& e : graph::to_edge_list(g)) {
+    out << e.src << " " << e.dst << "\n";
+  }
+  TLP_CHECK_MSG(out.good(), "failed writing repro file: " << path);
+}
+
+Csr load_repro(const std::string& path) {
+  std::ifstream in(path);
+  TLP_CHECK_MSG(in.good(), "cannot open repro file: " << path);
+  // Honor the "# vertices N" header so isolated tail vertices survive the
+  // round trip; plain edge lists without it still load (n = max id + 1).
+  VertexId n = 0;
+  std::string line;
+  std::ostringstream body;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag, key;
+    if (line.rfind("#", 0) == 0 && (ls >> tag >> key) && key == "vertices") {
+      std::int64_t v = 0;
+      if (ls >> v) n = static_cast<VertexId>(v);
+      continue;
+    }
+    body << line << "\n";
+  }
+  std::istringstream edges(body.str());
+  return graph::read_edge_list(edges, n);
+}
+
+}  // namespace tlp::fuzz

@@ -1,0 +1,45 @@
+// Shrinking minimizer: reduces a failing graph to a small reproducer.
+//
+// Delta-debugging over the graph structure: first remove chunks of vertices
+// (via graph::induced_subgraph, so surviving edges keep their relative
+// order), then remove chunks of edges, re-checking the caller's failure
+// predicate after every candidate reduction. The result is the smallest
+// graph the search found that still fails, suitable for writing out as a
+// `.el` edge-list repro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace tlp::fuzz {
+
+/// Returns true when the candidate graph still triggers the failure under
+/// investigation. Must be deterministic; the minimizer calls it many times.
+using FailurePredicate = std::function<bool(const graph::Csr&)>;
+
+struct MinimizeResult {
+  graph::Csr graph;          ///< smallest still-failing graph found
+  std::uint64_t evals = 0;   ///< predicate evaluations spent
+  graph::VertexId start_vertices = 0;
+  graph::EdgeOffset start_edges = 0;
+};
+
+/// ddmin-style reduction of `start` under `still_fails`. `start` must itself
+/// satisfy the predicate. `max_evals` bounds the search cost.
+MinimizeResult minimize_graph(const graph::Csr& start,
+                              const FailurePredicate& still_fails,
+                              std::uint64_t max_evals = 2000);
+
+/// Writes a minimized graph as a plain edge-list repro file ("# tlpfuzz
+/// repro" header, "src dst" lines, isolated tail vertices preserved via an
+/// explicit vertex-count comment honored by load_repro).
+void write_repro(const std::string& path, const graph::Csr& g);
+
+/// Loads a repro file written by write_repro (plain edge lists written by
+/// other tools load too; vertex count defaults to max id + 1).
+graph::Csr load_repro(const std::string& path);
+
+}  // namespace tlp::fuzz

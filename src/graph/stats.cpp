@@ -28,6 +28,20 @@ DegreeStats degree_stats(const Csr& g) {
   return out;
 }
 
+std::uint64_t fingerprint(const Csr& g) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(g.num_vertices()));
+  for (const EdgeOffset o : g.indptr()) mix(static_cast<std::uint64_t>(o));
+  for (const VertexId u : g.indices()) mix(static_cast<std::uint64_t>(u));
+  return h;
+}
+
 std::vector<std::int64_t> degree_histogram(const Csr& g) {
   std::vector<std::int64_t> hist;
   for (VertexId v = 0; v < g.num_vertices(); ++v) {

@@ -21,6 +21,11 @@ struct DegreeStats {
 
 DegreeStats degree_stats(const Csr& g);
 
+/// Order-sensitive 64-bit FNV-1a digest of the graph structure (vertex count,
+/// indptr, indices). Used by the golden-hash seed-stability tests and by
+/// tlpfuzz to prove generators are bit-stable across runs and platforms.
+std::uint64_t fingerprint(const Csr& g);
+
 /// Histogram of log2(degree) buckets: h[i] counts vertices whose degree is in
 /// [2^i, 2^(i+1)); h[0] also includes degree-0 and degree-1 vertices.
 std::vector<std::int64_t> degree_histogram(const Csr& g);

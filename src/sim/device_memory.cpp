@@ -75,6 +75,10 @@ void DeviceMemory::release_bytes(std::uint64_t offset, std::uint64_t bytes) {
   auto it = std::lower_bound(
       allocs_.begin(), allocs_.end(), offset,
       [](const AllocationRecord& a, std::uint64_t off) { return a.offset < off; });
+  // Zero-size allocations do not advance the bump pointer, so they share
+  // their offset with the next real allocation; skip past them to the
+  // record that actually owns these bytes.
+  while (it != allocs_.end() && it->offset == offset && it->bytes == 0) ++it;
   TLP_CHECK_MSG(it != allocs_.end() && it->offset == offset &&
                     it->bytes == bytes,
                 "free() of an address that was never allocated (offset "

@@ -89,6 +89,34 @@ TEST(Complete, AllPairs) {
   for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4);
 }
 
+// Golden structure hashes. These pin the exact bit-level output of each
+// seeded generator: any change to an Rng consumption order or a tie-break
+// silently invalidates every recorded fuzz repro and dataset replica, so it
+// must show up here as a hard failure, not as a flaky benchmark.
+TEST(GoldenHash, SeededGeneratorsAreBitStable) {
+  Rng er(42), pl(42), rm(42);
+  EXPECT_EQ(fingerprint(erdos_renyi(100, 500, er)), 0xa86e7bb1c6f675ebull);
+  EXPECT_EQ(fingerprint(power_law(500, 3000, 2.2, pl)),
+            0xbd07bee6c74d521full);
+  EXPECT_EQ(fingerprint(rmat(256, 2000, rm)), 0xf3a64740bd926c79ull);
+}
+
+TEST(GoldenHash, DeterministicGeneratorsAreBitStable) {
+  EXPECT_EQ(fingerprint(regular_ring(64, 4)), 0x3aa13f5dd336f60aull);
+  EXPECT_EQ(fingerprint(star(50)), 0x41c05652f2f44976ull);
+  EXPECT_EQ(fingerprint(path(50)), 0xbb90e24a28f3f146ull);
+  EXPECT_EQ(fingerprint(grid2d(5, 7)), 0x3ef9afb5911735d2ull);
+  EXPECT_EQ(fingerprint(complete(9)), 0xa1c6ecdc5c1fc8a4ull);
+}
+
+TEST(GoldenHash, FingerprintSeesStructure) {
+  // Sanity for the digest itself: sensitive to edges, vertex count, and
+  // direction; insensitive to nothing we care about.
+  EXPECT_NE(fingerprint(star(50)), fingerprint(star(51)));
+  EXPECT_NE(fingerprint(path(50)), fingerprint(star(50)));
+  EXPECT_EQ(fingerprint(path(50)), fingerprint(path(50)));
+}
+
 TEST(DegreeHistogram, BucketsSumToVertices) {
   Rng rng(5);
   const Csr g = power_law(500, 3000, 2.3, rng);

@@ -4,10 +4,13 @@
 // kernel strategies compute the same convolution.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "fuzz/kernel_runners.hpp"
+#include "fuzz/oracles.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "kernels/advisor_groups.hpp"
@@ -491,6 +494,92 @@ TEST(ApplyEdge, UMulEMaterialize) {
                   3.0f * hx.h.at(e, j), 1e-4);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Pathological-graph edge cases, across every kernel strategy at once via the
+// fuzzing harness's runner registry: no-edge graphs, a single vertex (with
+// and without a self loop), all-isolated vertices at a non-warp-multiple
+// count, and duplicate parallel edges.
+// ---------------------------------------------------------------------------
+
+struct EdgeCase {
+  const char* name;
+  Csr g;
+};
+
+std::vector<EdgeCase> edge_case_graphs() {
+  using graph::Edge;
+  std::vector<EdgeCase> cases;
+  cases.push_back({"empty", graph::build_csr(16, {})});
+  cases.push_back({"single_vertex", graph::build_csr(1, {})});
+  cases.push_back(
+      {"single_vertex_self_loop", graph::build_csr(1, {Edge{0, 0}})});
+  cases.push_back({"all_isolated", graph::build_csr(33, {})});
+  std::vector<Edge> dup;
+  for (const Edge e :
+       {Edge{0, 1}, Edge{2, 3}, Edge{4, 5}, Edge{1, 0}, Edge{5, 4}}) {
+    dup.push_back(e);
+    dup.push_back(e);  // every edge twice: parallel edges survive the build
+  }
+  cases.push_back({"duplicate_edges",
+                   graph::build_csr(8, std::move(dup), {.dedup = false})});
+  return cases;
+}
+
+class KernelEdgeCaseTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(KernelEdgeCaseTest, AllStrategiesMatchReferenceOnPathologies) {
+  const ModelKind kind = GetParam();
+  for (const EdgeCase& ec : edge_case_graphs()) {
+    for (const std::int64_t f : {1, 33}) {
+      Rng rng(11);
+      const ConvSpec spec = ConvSpec::make(kind, f, rng);
+      Rng frng(23);
+      const Tensor h = Tensor::random(ec.g.num_vertices(), f, frng);
+      const Tensor ref = models::reference_conv(ec.g, h, spec);
+      for (const fuzz::KernelRunner& r : fuzz::kernel_runners()) {
+        if (!r.supports(spec)) continue;
+        sim::Device dev;
+        const Tensor got = r.run(dev, ec.g, h, spec, {});
+        std::string detail;
+        EXPECT_TRUE(fuzz::outputs_close(got, ref, &detail))
+            << r.name << " on " << ec.name << " f=" << f << ": " << detail;
+      }
+    }
+  }
+}
+
+TEST_P(KernelEdgeCaseTest, DuplicateEdgesCountTwice) {
+  // A graph with every edge doubled must aggregate each neighbor twice —
+  // the reference built from the doubled list is NOT the deduplicated one.
+  const ModelKind kind = GetParam();
+  using graph::Edge;
+  const std::vector<Edge> once = {Edge{0, 1}, Edge{2, 1}, Edge{1, 2}};
+  std::vector<Edge> twice;
+  for (const Edge e : once) {
+    twice.push_back(e);
+    twice.push_back(e);
+  }
+  const Csr g1 = graph::build_csr(3, once, {.dedup = false});
+  const Csr g2 = graph::build_csr(3, twice, {.dedup = false});
+  Rng rng(31);
+  const ConvSpec spec = ConvSpec::make(kind, 8, rng);
+  Rng frng(37);
+  const Tensor h = Tensor::random(3, 8, frng);
+  const Tensor ref1 = models::reference_conv(g1, h, spec);
+  const Tensor ref2 = models::reference_conv(g2, h, spec);
+  // Sage (mean) and GAT (softmax) are invariant to edge multiplicity; the
+  // sum-based models must differ.
+  if (kind == ModelKind::kGcn || kind == ModelKind::kGin) {
+    EXPECT_GT(tensor::max_abs_diff(ref1, ref2), 1e-3);
+  } else {
+    EXPECT_TRUE(tensor::allclose(ref1, ref2, 1e-4, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, KernelEdgeCaseTest,
+                         ::testing::Values(ModelKind::kGcn, ModelKind::kGin,
+                                           ModelKind::kSage, ModelKind::kGat));
 
 }  // namespace
 }  // namespace tlp::kernels

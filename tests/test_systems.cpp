@@ -4,11 +4,14 @@
 // counts, atomic traffic, occupancy, memory usage).
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "models/reference.hpp"
 #include "systems/baseline_systems.hpp"
+#include "systems/partitioned.hpp"
 #include "systems/dgl_system.hpp"
 #include "systems/featgraph_system.hpp"
 #include "systems/gnnadvisor_system.hpp"
@@ -229,6 +232,31 @@ TEST(Advisor, ReportsPreprocessingTime) {
   GnnAdvisorSystem sys;
   const RunResult r = sys.run(dev, w.g, w.h, spec);
   EXPECT_GT(r.preprocessing_ms, 0.0);
+}
+
+TEST(Partitioned, CountInvarianceBitIdentical) {
+  // Regression for the fuzzer's partition-count invariant: the partitioned
+  // runner must reproduce the unpartitioned output bit for bit at every
+  // partition count, including counts that do not divide |V|. k=1 is the
+  // plain system run itself (run_partitioned requires k >= 2).
+  const World w;
+  Rng rng(21);
+  for (const ModelKind kind : models::kAllModels) {
+    const ConvSpec spec = ConvSpec::make(kind, w.h.cols(), rng);
+    TlpgnnSystem sys;
+    sim::Device base_dev;
+    const RunResult base = sys.run(base_dev, w.g, w.h, spec);
+    for (const int k : {2, 3, 7}) {
+      sim::Device dev;
+      const RunResult part = run_partitioned(sys, dev, w.g, w.h, spec, k);
+      ASSERT_EQ(part.output.rows(), base.output.rows());
+      ASSERT_EQ(part.output.cols(), base.output.cols());
+      const auto a = base.output.flat();
+      const auto b = part.output.flat();
+      EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+          << models::model_name(kind) << " k=" << k;
+    }
+  }
 }
 
 TEST(Systems, Table5NamesResolve) {
