@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "kernels/conv_common.hpp"
 #include "kernels/gather_pull.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
@@ -29,12 +30,10 @@ double run_once(const graph::Csr& g, const tensor::Tensor& feat,
   return dev.gpu_time_ms();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/200'000, /*feature=*/32);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
 
   bench::print_header("Tuning ablations (GCN, F=" +
@@ -55,7 +54,10 @@ int main(int argc, char** argv) {
       for (const int wpb : {1, 2, 4, 8, 16, 32}) {
         sim::LaunchConfig lc;
         lc.warps_per_block = wpb;
-        cells.push_back(fixed(run_once(g, feat, gpu, lc), 3));
+        const double ms = run_once(g, feat, gpu, lc);
+        rep.add("warps_per_block", abbr, "wpb=" + std::to_string(wpb))
+            .value("gpu_time_ms", ms);
+        cells.push_back(fixed(ms, 3));
       }
       t.add_row(std::move(cells));
     }
@@ -77,7 +79,10 @@ int main(int argc, char** argv) {
         sim::LaunchConfig lc;
         lc.assignment = sim::Assignment::kSoftwarePool;
         lc.pool_step = step;
-        cells.push_back(fixed(run_once(g, feat, gpu, lc), 3));
+        const double ms = run_once(g, feat, gpu, lc);
+        rep.add("pool_step", abbr, "step=" + std::to_string(step))
+            .value("gpu_time_ms", ms);
+        cells.push_back(fixed(ms, 3));
       }
       t.add_row(std::move(cells));
     }
@@ -102,11 +107,26 @@ int main(int argc, char** argv) {
     for (const char* abbr : {"OA", "CL", "RD"}) {
       const graph::Csr& g = graphs.get(abbr);
       const tensor::Tensor feat = bench::make_features(g, 256, cfg.seed);
-      t.add_row({abbr, fixed(run_once(g, feat, v100, {}), 3),
-                 fixed(run_once(g, feat, narrow, {}), 3),
-                 fixed(run_once(g, feat, wide, {}), 3)});
+      const double ms_v100 = run_once(g, feat, v100, {});
+      const double ms_narrow = run_once(g, feat, narrow, {});
+      const double ms_wide = run_once(g, feat, wide, {});
+      rep.add("machine", abbr, "v100").value("gpu_time_ms", ms_v100);
+      rep.add("machine", abbr, "half-bandwidth")
+          .value("gpu_time_ms", ms_narrow);
+      rep.add("machine", abbr, "a100-like").value("gpu_time_ms", ms_wide);
+      t.add_row({abbr, fixed(ms_v100, 3), fixed(ms_narrow, 3),
+                 fixed(ms_wide, 3)});
     }
     t.print();
   }
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef tuning_bench = {
+    "tuning", "design-choice tuning ablations (extension)", &run, ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::tuning_bench)

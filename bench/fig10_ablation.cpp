@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
+#include "suite.hpp"
 #include "systems/tlpgnn_system.hpp"
 
 using namespace tlp;
@@ -28,12 +29,10 @@ double run_stage(const graph::Csr& g, const tensor::Tensor& feat,
   return sys.run(dev, g, feat, spec).measured_ms;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/150'000, /*feature=*/32);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
 
   bench::print_header(
@@ -75,16 +74,26 @@ int main(int argc, char** argv) {
       // Stage 4 (+Fusion, GAT only): one fused kernel.
       if (is_gat) stages.push_back(run_stage(g, feat, spec, true, true, true, gpu));
 
+      const std::vector<std::string> stage_names{"tlp", "+hybrid", "+cache",
+                                                 "+fusion"};
       std::vector<std::string> cells{ds.abbr};
       for (std::size_t i = 0; i < stages.size(); ++i) {
         const double speedup = base / stages[i];
         cols[i].push_back(speedup);
+        rep.add(models::model_name(kind), ds.abbr, stage_names[i])
+            .value("speedup", speedup);
         cells.push_back(fixed(speedup, 2) + "x");
       }
       t.add_row(std::move(cells));
     }
+    const std::vector<std::string> stage_names{"tlp", "+hybrid", "+cache",
+                                               "+fusion"};
     std::vector<std::string> avg{"geomean"};
-    for (const auto& col : cols) avg.push_back(fixed(geomean(col), 2) + "x");
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      rep.add(models::model_name(kind), "", stage_names[i])
+          .value("geomean_speedup", geomean(cols[i]));
+      avg.push_back(fixed(geomean(cols[i]), 2) + "x");
+    }
     t.add_row(std::move(avg));
     t.print();
     std::printf("\n");
@@ -94,3 +103,12 @@ int main(int argc, char** argv) {
       "over the edge-centric baseline\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef fig10_bench = {
+    "fig10", "technique benefits over the edge-centric baseline", &run, ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::fig10_bench)

@@ -6,20 +6,23 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "suite.hpp"
 #include "systems/tlpgnn_system.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
 using models::ModelKind;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+namespace {
+
+int run(const Args& args, bench::Reporter& rep) {
   BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/300'000, /*feature=*/32);
   // Strong scaling needs many independent vertices per warp: the replicas
   // keep a large vertex population at the cost of density (see
   // ReplicaOptions::min_vertices).
   cfg.replica.min_vertices = args.get_int("min-vertices", 50'000);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
   const std::vector<int> block_counts{1, 2, 4, 8, 16, 32, 64, 128};
 
@@ -54,6 +57,10 @@ int main(int argc, char** argv) {
         sim::Device dev(sim::GpuSpec::v100());
         const double ms = sys.run(dev, g, feat, spec).gpu_time_ms;
         if (blocks == 1) single = ms;
+        rep.add(models::model_name(kind), ds.abbr,
+                "blocks=" + std::to_string(blocks))
+            .value("speedup", single / ms)
+            .value("gpu_time_ms", ms);
         cells.push_back(fixed(single / ms, 1) + "x");
       }
       t.add_row(std::move(cells));
@@ -65,3 +72,12 @@ int main(int argc, char** argv) {
               "Sage 67.2x, GAT 45.3x\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef fig11_bench = {"fig11", "scalability vs thread count", &run,
+                              "min-vertices"};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::fig11_bench)

@@ -5,15 +5,18 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
 using models::ModelKind;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+namespace {
+
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/100'000, /*feature=*/16);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
   const std::vector<std::int64_t> sizes{16, 32, 64, 128, 256, 512};
 
@@ -41,6 +44,9 @@ int main(int argc, char** argv) {
                               ->run(dev, g, feat, spec)
                               .gpu_time_ms;
         if (f == 16) base = ms;
+        rep.add(models::model_name(kind), ds.abbr, "f=" + std::to_string(f))
+            .value("normalized_runtime", ms / base)
+            .value("gpu_time_ms", ms);
         cells.push_back(fixed(ms / base, 1) + "x");
       }
       t.add_row(std::move(cells));
@@ -54,3 +60,12 @@ int main(int argc, char** argv) {
       "F=32 despite half the warp being idle\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef fig12_bench = {"fig12", "scalability vs feature size", &run,
+                              ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::fig12_bench)

@@ -4,15 +4,18 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
 using models::ModelKind;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+namespace {
+
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/250'000, /*feature=*/32);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
 
   bench::print_header(
@@ -33,6 +36,12 @@ int main(int argc, char** argv) {
                                        cfg.seed, gpu);
     const auto tlp = bench::run_system("tlpgnn", ModelKind::kGcn, g, feat,
                                        cfg.seed, gpu);
+    rep.add("", ds.abbr, "gnnadvisor-gcn")
+        .value("bytes_atomic", gcn.metrics.bytes_atomic);
+    rep.add("", ds.abbr, "gnnadvisor-gin")
+        .value("bytes_atomic", gin.metrics.bytes_atomic);
+    rep.add("", ds.abbr, "tlpgnn")
+        .value("bytes_atomic", tlp.metrics.bytes_atomic);
     t.add_row({ds.abbr, human_bytes(gcn.metrics.bytes_atomic),
                human_bytes(gin.metrics.bytes_atomic),
                human_bytes(tlp.metrics.bytes_atomic)});
@@ -42,3 +51,12 @@ int main(int argc, char** argv) {
               "scale, growing with edge count; TLPGNN is exactly zero\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef fig8_bench = {
+    "fig8", "GNNAdvisor atomic-write traffic vs TLPGNN", &run, ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::fig8_bench)

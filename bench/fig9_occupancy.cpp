@@ -4,15 +4,18 @@
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
 using models::ModelKind;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+namespace {
+
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/250'000, /*feature=*/32);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
 
   bench::print_header(
@@ -33,10 +36,26 @@ int main(int argc, char** argv) {
         bench::run_system("tlpgnn", ModelKind::kGcn, g, feat, cfg.seed, gpu);
     fg_all.push_back(fg.metrics.achieved_occupancy);
     tlp_all.push_back(tlp.metrics.achieved_occupancy);
+    rep.add("", ds.abbr, "featgraph")
+        .value("achieved_occupancy", fg_all.back());
+    rep.add("", ds.abbr, "tlpgnn").value("achieved_occupancy", tlp_all.back());
     t.add_row({ds.abbr, pct(fg_all.back()), pct(tlp_all.back())});
   }
+  rep.add("summary", "", "featgraph")
+      .value("mean_achieved_occupancy", mean(fg_all));
+  rep.add("summary", "", "tlpgnn")
+      .value("mean_achieved_occupancy", mean(tlp_all));
   t.add_row({"Average", pct(mean(fg_all)), pct(mean(tlp_all))});
   t.print();
   std::printf("\npaper averages: FeatGraph 41.2%%, TLPGNN 68.2%%\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef fig9_bench = {
+    "fig9", "achieved occupancy, FeatGraph vs TLPGNN", &run, ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::fig9_bench)

@@ -1,0 +1,28 @@
+// Registry of every table/figure/ablation bench (bench_common.hpp explains
+// the BenchDef contract). Each bench .cpp defines its BenchDef; suite.cpp
+// aggregates them for the tools/tlpbench driver. micro_sim is deliberately
+// absent: it is a google-benchmark binary with its own JSON format
+// (--benchmark_format=json) and no paper table to assert shapes over.
+#pragma once
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace tlp::bench {
+
+extern const BenchDef table1_bench;   // atomics study (Table 1)
+extern const BenchDef table2_bench;   // coalescing study (Table 2)
+extern const BenchDef table3_bench;   // kernel-fusion study (Table 3)
+extern const BenchDef table5_bench;   // main system comparison (Table 5)
+extern const BenchDef fig8_bench;     // GNNAdvisor atomic traffic (Fig 8)
+extern const BenchDef fig9_bench;     // achieved occupancy (Fig 9)
+extern const BenchDef fig10_bench;    // technique ablation (Fig 10)
+extern const BenchDef fig11_bench;    // thread-count scaling (Fig 11)
+extern const BenchDef fig12_bench;    // feature-size scaling (Fig 12)
+extern const BenchDef tuning_bench;   // extension tuning ablations
+
+/// All suite benches in EXPERIMENTS.md order.
+const std::vector<const BenchDef*>& all_benches();
+
+}  // namespace tlp::bench

@@ -5,14 +5,17 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+namespace {
+
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg = BenchConfig::from_args(args, /*max_edges=*/400'000,
                                                  /*feature=*/128);
+  rep.set_config(cfg);
   const auto& spec = graph::dataset_by_abbr("OH");
   const graph::Csr g = graph::make_dataset(spec, cfg.replica);
   const tensor::Tensor feat =
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   for (const auto& name : sysnames) {
     results.push_back(bench::run_system(name, models::ModelKind::kGcn, g, feat,
                                         cfg.seed, gpu));
+    rep.add_run("", spec.abbr, name, results.back());
   }
 
   auto row = [&](const std::string& label, auto getter) {
@@ -64,3 +68,12 @@ int main(int argc, char** argv) {
   std::printf("paper (V100, full scale): 1.8x / 1.6x / 5.8x; pull is atomic-free\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef table1_bench = {
+    "table1", "impact of atomic operations (GCN, ovcar-8h replica)", &run, ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::table1_bench)

@@ -6,6 +6,7 @@
 #include "bench_common.hpp"
 #include "kernels/conv_common.hpp"
 #include "kernels/subwarp_pull.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
@@ -33,15 +34,21 @@ LpvResult run_lpv(const graph::Csr& g, const tensor::Tensor& feat, int lpv,
           m.scoreboard_stall};
 }
 
-}  // namespace
+report::Record& record_lpv(bench::Reporter& rep, const std::string& variant,
+                           const LpvResult& r) {
+  return rep.add("", "PD", variant)
+      .value("runtime_ms", r.runtime_ms)
+      .value("sectors_per_request", r.sectors_per_request)
+      .value("l1_hit_rate", r.l1_hit)
+      .value("scoreboard_stall", r.scoreboard);
+}
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/300'000, /*feature=*/128);
+  rep.set_config(cfg);
   const auto& spec = graph::dataset_by_abbr("PD");
-  graph::ReplicaOptions replica = cfg.replica;
-  const graph::Csr g = graph::make_dataset(spec, replica);
+  const graph::Csr g = graph::make_dataset(spec, cfg.replica);
   const tensor::Tensor feat =
       bench::make_features(g, cfg.feature_size, cfg.seed);
 
@@ -53,6 +60,8 @@ int main(int argc, char** argv) {
   const sim::GpuSpec gpu = bench::gpu_for(spec, cfg);
   const LpvResult one = run_lpv(g, feat, 1, gpu);
   const LpvResult half = run_lpv(g, feat, 16, gpu);
+  record_lpv(rep, "one-thread", one);
+  record_lpv(rep, "half-warp", half);
 
   TextTable t({"Metrics", "One Thread", "Half Warp"});
   t.add_row({"Runtime (ms)", fixed(one.runtime_ms, 3), fixed(half.runtime_ms, 3)});
@@ -71,9 +80,19 @@ int main(int argc, char** argv) {
   TextTable sweep({"lanes/vertex", "runtime (ms)", "sectors/req", "L1 hit"});
   for (const int lpv : {1, 2, 4, 8, 16, 32}) {
     const LpvResult r = run_lpv(g, feat, lpv, gpu);
+    record_lpv(rep, "lpv=" + std::to_string(lpv), r);
     sweep.add_row({std::to_string(lpv), fixed(r.runtime_ms, 3),
                    fixed(r.sectors_per_request, 1), pct(r.l1_hit)});
   }
   sweep.print();
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef table2_bench = {
+    "table2", "coalesced memory access (GCN, pubmed replica)", &run, ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::table2_bench)

@@ -9,15 +9,18 @@
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
+#include "suite.hpp"
 
 using namespace tlp;
 using bench::BenchConfig;
 using models::ModelKind;
 
-int main(int argc, char** argv) {
-  const Args args(argc, argv);
+namespace {
+
+int run(const Args& args, bench::Reporter& rep) {
   const BenchConfig cfg =
       BenchConfig::from_args(args, /*max_edges=*/250'000, /*feature=*/32);
+  rep.set_config(cfg);
   bench::GraphCache graphs(cfg);
 
   bench::print_header(
@@ -55,6 +58,13 @@ int main(int argc, char** argv) {
       for (const auto& name : baselines) times[name] = time_of(name);
       const double tlpgnn_ms = *time_of("tlpgnn");
 
+      const std::string section = models::model_name(kind);
+      for (const auto& name : baselines) {
+        if (times[name])
+          rep.add(section, ds.abbr, name).value("measured_ms", *times[name]);
+      }
+      rep.add(section, ds.abbr, "tlpgnn").value("measured_ms", tlpgnn_ms);
+
       std::optional<double> best;
       for (const auto& name : baselines) {
         if (times[name] && (!best || *times[name] < *best)) best = *times[name];
@@ -77,8 +87,20 @@ int main(int argc, char** argv) {
     if (speedups[name].empty()) continue;
     std::printf("  vs %-11s %sx\n", name.c_str(),
                 fixed(geomean(speedups[name]), 2).c_str());
+    rep.add("summary", "", name)
+        .value("geomean_speedup", geomean(speedups[name]));
   }
   std::printf("paper (arithmetic means, V100 full scale): DGL 5.6x, "
               "GNNAdvisor 7.7x, FeatGraph 3.3x\n");
   return 0;
 }
+
+}  // namespace
+
+namespace tlp::bench {
+const BenchDef table5_bench = {
+    "table5", "execution times across systems, models and datasets", &run,
+    ""};
+}  // namespace tlp::bench
+
+TLP_BENCH_MAIN(tlp::bench::table5_bench)

@@ -27,6 +27,13 @@ Args::Args(int argc, const char* const* argv) {
 
 bool Args::has(const std::string& name) const { return named_.count(name) > 0; }
 
+std::vector<std::string> Args::named_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(named_.size());
+  for (const auto& [k, v] : named_) keys.push_back(k);
+  return keys;  // std::map iteration is already sorted
+}
+
 std::string Args::get(const std::string& name, const std::string& def) const {
   const auto it = named_.find(name);
   return it == named_.end() ? def : it->second;

@@ -30,6 +30,10 @@ class Args {
     return positional_;
   }
 
+  /// Names of all --flags that were passed, sorted. Lets binaries reject
+  /// unknown flags instead of silently ignoring typos.
+  [[nodiscard]] std::vector<std::string> named_keys() const;
+
  private:
   std::map<std::string, std::string> named_;
   std::vector<std::string> positional_;

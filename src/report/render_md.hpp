@@ -1,0 +1,24 @@
+// Renders EXPERIMENTS.md from a tlpbench Report (DESIGN.md §9).
+//
+// The document is *derived*: paper-side numbers and deviation commentary are
+// fixed text owned by this generator, every measured number is interpolated
+// from the report, and a provenance footer records where the data came from.
+// `tlpbench --render-md` writes it; CI fails when the committed file drifts
+// from the generator output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/report.hpp"
+#include "report/shapes.hpp"
+
+namespace tlp::report {
+
+/// Full EXPERIMENTS.md content for `report`, with the shape-assertion
+/// outcomes summarized up front. Deterministic: same report + outcomes,
+/// same bytes.
+std::string render_experiments_md(const Report& report,
+                                  const std::vector<ShapeOutcome>& shapes);
+
+}  // namespace tlp::report

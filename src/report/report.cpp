@@ -1,0 +1,127 @@
+#include "report/report.hpp"
+
+namespace tlp::report {
+
+Record& Record::value(const std::string& name, double v) {
+  for (auto& [k, old] : values) {
+    if (k == name) {
+      old = v;
+      return *this;
+    }
+  }
+  values.emplace_back(name, v);
+  return *this;
+}
+
+std::optional<double> Record::get(const std::string& name) const {
+  for (const auto& [k, v] : values) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+Json Record::to_json() const {
+  Json j = Json::object();
+  if (!section.empty()) j.set("section", section);
+  if (!dataset.empty()) j.set("dataset", dataset);
+  j.set("variant", variant);
+  Json vals = Json::object();
+  for (const auto& [k, v] : values) vals.set(k, v);
+  j.set("values", std::move(vals));
+  return j;
+}
+
+Record Record::from_json(const Json& j) {
+  Record r;
+  r.section = j.string_or("section", "");
+  r.dataset = j.string_or("dataset", "");
+  r.variant = j.at("variant").as_string();
+  for (const auto& [k, v] : j.at("values").members()) {
+    r.values.emplace_back(k, v.as_number());
+  }
+  return r;
+}
+
+Json BenchResult::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("title", title);
+  j.set("config", config);
+  Json recs = Json::array();
+  for (const Record& r : records) recs.push_back(r.to_json());
+  j.set("records", std::move(recs));
+  return j;
+}
+
+BenchResult BenchResult::from_json(const Json& j) {
+  BenchResult b;
+  b.name = j.at("name").as_string();
+  b.title = j.string_or("title", "");
+  if (const Json* cfg = j.find("config")) b.config = *cfg;
+  for (const Json& r : j.at("records").items()) {
+    b.records.push_back(Record::from_json(r));
+  }
+  return b;
+}
+
+const BenchResult* Report::find_bench(const std::string& name) const {
+  for (const BenchResult& b : benches) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<const Record*> Report::select(const std::string& bench,
+                                          const std::string& section,
+                                          const std::string& dataset,
+                                          const std::string& variant) const {
+  std::vector<const Record*> out;
+  const BenchResult* b = find_bench(bench);
+  if (b == nullptr) return out;
+  for (const Record& r : b->records) {
+    if (!section.empty() && r.section != section) continue;
+    if (!dataset.empty() && r.dataset != dataset) continue;
+    if (!variant.empty() && r.variant != variant) continue;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+std::optional<double> Report::value(const std::string& bench,
+                                    const std::string& section,
+                                    const std::string& dataset,
+                                    const std::string& variant,
+                                    const std::string& metric) const {
+  for (const Record* r : select(bench, section, dataset, variant)) {
+    if (auto v = r->get(metric)) return v;
+  }
+  return std::nullopt;
+}
+
+Json Report::to_json() const {
+  Json j = Json::object();
+  j.set("schema", schema);
+  j.set("seed", static_cast<std::int64_t>(seed));
+  j.set("git", git);
+  Json bs = Json::array();
+  for (const BenchResult& b : benches) bs.push_back(b.to_json());
+  j.set("benches", std::move(bs));
+  return j;
+}
+
+Report Report::from_json(const Json& j) {
+  Report r;
+  r.schema = j.at("schema").as_string();
+  if (r.schema != kSchema) {
+    throw JsonError{"unsupported schema \"" + r.schema + "\" (expected \"" +
+                    kSchema + "\")"};
+  }
+  r.seed = static_cast<std::uint64_t>(j.number_or("seed", 42));
+  r.git = j.string_or("git", "unknown");
+  for (const Json& b : j.at("benches").items()) {
+    r.benches.push_back(BenchResult::from_json(b));
+  }
+  return r;
+}
+
+}  // namespace tlp::report

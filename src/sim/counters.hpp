@@ -43,26 +43,59 @@ struct KernelRecord {
 };
 
 /// Metrics aggregated over one or more kernel launches — the quantities
-/// Tables 1–3 and Figures 8–9 print.
+/// Tables 1–3 and Figures 8–9 print, and the values tlpbench serializes
+/// into the `tlpbench-v1` JSON schema (DESIGN.md §9). Each field names the
+/// Nsight Compute / Systems metric it stands in for, so numbers read off a
+/// real profiler line up one-to-one with the simulated counters.
 struct Metrics {
+  /// Count of device kernel launches. Nsight Systems: rows in the CUDA
+  /// kernel trace (`cudaLaunchKernel` count). Unit: launches.
   int kernel_launches = 0;
-  double gpu_time_ms = 0;  ///< sum of kernel elapsed + device launch overhead
+  /// Sum of kernel elapsed time plus device-side launch overhead. Nsight
+  /// Compute: `gpu__time_duration.sum` summed over launches. Unit: ms.
+  double gpu_time_ms = 0;
 
+  /// Global load traffic that missed L1 (the L1<->L2 bus). Nsight Compute:
+  /// `l1tex__m_xbar2l1tex_read_bytes.sum`. Unit: bytes.
   double bytes_load = 0;
+  /// Store traffic through the write-through L1. Nsight Compute:
+  /// `l1tex__m_l1tex2xbar_write_bytes.sum`. Unit: bytes.
   double bytes_store = 0;
+  /// Atomic/reduction traffic (bypasses L1, serializes on conflicts — the
+  /// quantity Figure 8 plots). Nsight Compute:
+  /// `l1tex__t_bytes_pipe_lsu_mem_global_op_red.sum` (+`_op_atom`).
+  /// Unit: bytes.
   double bytes_atomic = 0;
+  /// Traffic that missed L2 and reached device memory. Nsight Compute:
+  /// `dram__bytes.sum`. Unit: bytes.
   double bytes_dram = 0;
 
+  /// Average 32 B sectors touched per warp-level global memory request —
+  /// the coalescing quality metric of Table 2 (1 = perfectly coalesced 32 b
+  /// loads ≈ 4, scattered ≈ 32). Nsight Compute:
+  /// `l1tex__average_t_sectors_per_request_pipe_lsu_mem_global_op_ld`.
+  /// Unit: sectors/request.
   double sectors_per_request = 0;
+  /// Fraction of L1 global-load accesses served from L1. Nsight Compute:
+  /// `l1tex__t_sector_hit_rate.pct` (as a fraction here). Unit: 0..1.
   double l1_hit_rate = 0;
-  /// Average memory-stall cycles per issued warp-instruction ("stall for
-  /// long scoreboard" in the paper's tables).
+  /// Average memory-stall cycles per issued warp-instruction ("stall long
+  /// scoreboard" in the paper's tables — waiting on an outstanding global
+  /// load). Nsight Compute:
+  /// `smsp__average_warp_latency_issue_stalled_long_scoreboard`.
+  /// Unit: cycles/instruction.
   double scoreboard_stall = 0;
-  /// Fraction of issue slots used while kernels were resident.
+  /// Fraction of issue slots used while kernels were resident. Nsight
+  /// Compute: `smsp__issue_active.avg.pct_of_peak_sustained_elapsed`
+  /// (as a fraction here). Unit: 0..1.
   double sm_utilization = 0;
-  /// Time-weighted resident warps / max resident warps.
+  /// Time-weighted resident warps / max resident warps — Figure 9's metric.
+  /// Nsight Compute: `sm__warps_active.avg.pct_of_peak_sustained_active`
+  /// (as a fraction here). Unit: 0..1.
   double achieved_occupancy = 0;
 
+  /// High-water mark of device allocations. CUDA analogue: `cudaMemGetInfo`
+  /// delta (or `nvidia-smi` memory at peak). Unit: bytes.
   std::int64_t peak_device_bytes = 0;
 };
 

@@ -1,0 +1,320 @@
+// tlpbench: machine-readable benchmark pipeline driver (DESIGN.md §9).
+//
+//   tlpbench                         # run the full suite, write BENCH_<date>.json,
+//                                    # check bench/baseline.json shape assertions
+//   tlpbench --only table1,fig9      # subset by suite id
+//   tlpbench --list                  # show the registered benches
+//   tlpbench --seed 7 --max-edges 50000 --feature 64 --full
+//                                    # global overrides forwarded to every bench
+//   tlpbench --out results.json      # merged-report path
+//   tlpbench --no-assert             # skip the baseline shape check
+//   tlpbench --update-baseline       # refresh baseline.json's results snapshot
+//                                    # (assertions are authored, never rewritten)
+//   tlpbench --render-md EXPERIMENTS.md   # regenerate the experiments doc from
+//                                         # the baseline snapshot (no benches run)
+//   tlpbench --render-md             # ... to stdout
+//   tlpbench --check-md EXPERIMENTS.md    # doc-drift gate: exit 1 unless the
+//                                         # committed file is byte-identical
+//
+// Exit codes: 0 ok, 1 shape-assertion failure / drift / IO error, 2 usage.
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "suite.hpp"
+#include "report/render_md.hpp"
+#include "report/shapes.hpp"
+
+namespace {
+
+using namespace tlp;
+
+const std::vector<std::string> kFlags{
+    "only", "list", "seed",     "max-edges",       "full",
+    "feature", "out",  "baseline", "no-assert",       "update-baseline",
+    "render-md", "from", "check-md", "help"};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "tlpbench — run the bench suite, merge machine-readable results, check\n"
+      "shape assertions, and (re)generate EXPERIMENTS.md.\n\n"
+      "run mode:      tlpbench [--only a,b] [--seed S] [--max-edges N]\n"
+      "               [--full] [--feature F] [--out PATH] [--baseline PATH]\n"
+      "               [--no-assert] [--update-baseline]\n"
+      "render mode:   tlpbench --render-md [PATH] [--from REPORT.json]\n"
+      "doc gate:      tlpbench --check-md EXPERIMENTS.md\n"
+      "introspection: tlpbench --list\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw report::JsonError{"cannot read " + path};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+/// `git rev-parse --short HEAD`, or "unknown" outside a checkout.
+std::string git_head() {
+  std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+struct Baseline {
+  report::Report results;
+  std::vector<report::ShapeAssertion> assertions;
+  report::Json raw = report::Json::object();
+};
+
+Baseline load_baseline(const std::string& path) {
+  Baseline b;
+  b.raw = report::Json::parse(read_file(path));
+  b.results = report::Report::from_json(b.raw.at("results"));
+  b.assertions = report::assertions_from_json(b.raw);
+  return b;
+}
+
+/// Prints the per-assertion verdicts; returns the number of failures.
+int print_shape_outcomes(const std::vector<report::ShapeOutcome>& outcomes) {
+  int failures = 0;
+  std::printf("\n=== shape assertions ===\n");
+  for (const report::ShapeOutcome& o : outcomes) {
+    if (o.passed) {
+      std::printf("  ok   %-42s %s\n", o.id.c_str(), o.detail.c_str());
+    } else {
+      ++failures;
+      std::printf("  FAIL %-42s %s\n", o.id.c_str(), o.detail.c_str());
+      if (!o.note.empty()) std::printf("       claim: %s\n", o.note.c_str());
+    }
+  }
+  std::printf("%d/%zu assertions hold\n",
+              static_cast<int>(outcomes.size()) - failures, outcomes.size());
+  return failures;
+}
+
+/// Renders EXPERIMENTS.md content from a results snapshot + its assertions.
+std::string render_from_baseline(const Baseline& b) {
+  const auto outcomes = report::evaluate_all(b.assertions, b.results);
+  return report::render_experiments_md(b.results, outcomes);
+}
+
+std::string default_out_name() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "BENCH_%Y-%m-%d.json", &tm_buf);
+  return buf;
+}
+
+int run_mode(const Args& args) {
+  // Select benches.
+  std::vector<const bench::BenchDef*> selected;
+  if (args.has("only")) {
+    for (const std::string& want : bench::split_csv(args.get("only", ""))) {
+      const bench::BenchDef* found = nullptr;
+      for (const bench::BenchDef* def : bench::all_benches()) {
+        if (want == def->name) found = def;
+      }
+      if (found == nullptr) {
+        std::fprintf(stderr, "error: unknown bench \"%s\" (see --list)\n",
+                     want.c_str());
+        return 2;
+      }
+      selected.push_back(found);
+    }
+  } else {
+    selected = bench::all_benches();
+  }
+
+  // Forward the global overrides to every bench as its own argv.
+  std::vector<std::string> fwd{"bench"};
+  for (const char* flag : {"seed", "max-edges", "feature"}) {
+    if (args.has(flag))
+      fwd.push_back("--" + std::string(flag) + "=" + args.get(flag, ""));
+  }
+  if (args.get_bool("full", false)) fwd.emplace_back("--full");
+  std::vector<const char*> argv;
+  argv.reserve(fwd.size());
+  for (const std::string& s : fwd) argv.push_back(s.c_str());
+  const Args bench_args(static_cast<int>(argv.size()), argv.data());
+
+  report::Report merged;
+  merged.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  merged.git = git_head();
+
+  for (const bench::BenchDef* def : selected) {
+    std::printf(">>> %s: %s\n", def->name, def->title);
+    std::fflush(stdout);
+    report::BenchResult result;
+    result.name = def->name;
+    result.title = def->title;
+    bench::Reporter rep(&result);
+    const int rc = def->fn(bench_args, rep);
+    if (rc != 0) {
+      std::fprintf(stderr, "error: bench %s exited with %d\n", def->name, rc);
+      return 1;
+    }
+    merged.benches.push_back(std::move(result));
+  }
+
+  const std::string out_path = args.get("out", default_out_name());
+  if (!write_file(out_path, merged.to_json().dump())) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu benches, schema %s)\n", out_path.c_str(),
+              merged.benches.size(), merged.schema.c_str());
+
+  const std::string baseline_path =
+      args.get("baseline", "bench/baseline.json");
+
+  if (args.has("update-baseline")) {
+    // Keep the authored assertions; replace only the results snapshot.
+    report::Json doc = report::Json::object();
+    doc.set("schema", report::kSchema);
+    doc.set("results", merged.to_json());
+    report::Json assertions = report::Json::array();
+    try {
+      const Baseline old = load_baseline(baseline_path);
+      assertions = old.raw.at("assertions");
+    } catch (const report::JsonError&) {
+      // No existing baseline: start with an empty assertions array.
+    }
+    doc.set("assertions", assertions);
+    if (!write_file(baseline_path, doc.dump())) {
+      std::fprintf(stderr, "error: cannot write %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::printf("updated %s (results snapshot at git %s)\n",
+                baseline_path.c_str(), merged.git.c_str());
+  }
+
+  if (args.get_bool("no-assert", false)) return 0;
+
+  Baseline baseline;
+  try {
+    baseline = load_baseline(baseline_path);
+  } catch (const report::JsonError& e) {
+    std::fprintf(stderr,
+                 "error: cannot load baseline %s (%s); pass --no-assert to "
+                 "skip the shape check\n",
+                 baseline_path.c_str(), e.message.c_str());
+    return 1;
+  }
+
+  // Evaluate against the *fresh* results; only assertions whose bench ran.
+  std::vector<report::ShapeAssertion> applicable;
+  for (const report::ShapeAssertion& a : baseline.assertions) {
+    if (merged.find_bench(a.bench) != nullptr) applicable.push_back(a);
+  }
+  const auto outcomes = report::evaluate_all(applicable, merged);
+  const int failures = print_shape_outcomes(outcomes);
+  if (static_cast<std::size_t>(failures) < applicable.size() &&
+      applicable.size() < baseline.assertions.size()) {
+    std::printf("(%zu assertions skipped: their benches were not selected)\n",
+                baseline.assertions.size() - applicable.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.get_bool("help", false)) {
+    usage(stdout);
+    return 0;
+  }
+  for (const std::string& key : args.named_keys()) {
+    if (std::find(kFlags.begin(), kFlags.end(), key) == kFlags.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (args.get_bool("list", false)) {
+    std::printf("registered benches (tlpbench --only <name,...>):\n");
+    for (const bench::BenchDef* def : bench::all_benches()) {
+      std::printf("  %-8s %s\n", def->name, def->title);
+    }
+    std::printf("(micro_sim is standalone: google-benchmark, own JSON "
+                "format)\n");
+    return 0;
+  }
+
+  const std::string baseline_path =
+      args.get("baseline", "bench/baseline.json");
+
+  try {
+    if (args.has("render-md") || args.has("check-md")) {
+      Baseline b;
+      if (args.has("from")) {
+        b.results =
+            report::Report::from_json(report::Json::parse(read_file(
+                args.get("from", ""))));
+        // Shape outcomes still come from the baseline's assertion set.
+        try {
+          b.assertions = load_baseline(baseline_path).assertions;
+        } catch (const report::JsonError&) {
+          // Render without assertions if no baseline is available.
+        }
+      } else {
+        b = load_baseline(baseline_path);
+      }
+      const std::string md = render_from_baseline(b);
+
+      if (args.has("check-md")) {
+        const std::string path = args.get("check-md", "EXPERIMENTS.md");
+        const std::string committed = read_file(path);
+        if (committed != md) {
+          std::fprintf(stderr,
+                       "doc drift: %s differs from the generator output "
+                       "(%zu vs %zu bytes).\nRegenerate with: "
+                       "tools/tlpbench --render-md %s\n",
+                       path.c_str(), committed.size(), md.size(),
+                       path.c_str());
+          return 1;
+        }
+        std::printf("%s matches the generator output (%zu bytes)\n",
+                    path.c_str(), md.size());
+        return 0;
+      }
+
+      const std::string target = args.get("render-md", "true");
+      if (target == "true" || target == "-") {
+        std::fputs(md.c_str(), stdout);
+      } else if (!write_file(target, md)) {
+        std::fprintf(stderr, "error: cannot write %s\n", target.c_str());
+        return 1;
+      } else {
+        std::printf("wrote %s (%zu bytes)\n", target.c_str(), md.size());
+      }
+      return 0;
+    }
+
+    return run_mode(args);
+  } catch (const report::JsonError& e) {
+    std::fprintf(stderr, "error: %s\n", e.message.c_str());
+    return 1;
+  }
+}
