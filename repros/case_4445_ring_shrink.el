@@ -1,0 +1,9 @@
+# tlpfuzz repro
+# campaign: tlpfuzz --iters 6000 --seed 2026; cases 4445 and 5297
+# bug: mutate_case shrank a ring's n below its degree k (m), so build_graph
+#      called regular_ring(n=2, k=2) and tripped the `k < n` precondition
+#      CHECK before any graph existed. Fixed by clamping k to [1, n-1] in
+#      build_graph; this file is the clamped minimal case (ring n=2, k=1).
+# vertices 2
+1 0
+0 1

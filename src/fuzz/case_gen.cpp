@@ -204,11 +204,23 @@ Csr build_graph(const CaseSpec& c) {
     case GraphShape::kStar:
       return graph::star(c.n);
     case GraphShape::kChain:
-      return graph::path(c.n);
+      // draw_shape_dims can roll n = 1 for chains, but graph::path (like
+      // every structured generator) requires n >= 2. Clamp here rather than
+      // changing the draw range: the fuzz stream (and so every existing
+      // case) must stay bit-identical for a fixed seed. (Found by the same
+      // campaign as the ring clamp above: chain n=1, case 1324.)
+      return graph::path(std::max<VertexId>(2, c.n));
     case GraphShape::kClique:
       return graph::complete(c.n);
     case GraphShape::kRing:
-      return graph::regular_ring(c.n, static_cast<int>(c.m));
+      // For rings `m` doubles as the per-vertex degree k, which must stay in
+      // [1, n). mutate_case's grow/shrink arm rescales n without touching m,
+      // so a shrunk ring can arrive here with k >= n — clamp like the
+      // erdos_renyi cap above instead of tripping regular_ring's CHECK.
+      // (Found by the 6 k-iteration fuzz campaign: ring n=2 m=2, case 4445.)
+      return graph::regular_ring(
+          c.n, static_cast<int>(std::clamp<EdgeOffset>(
+                   c.m, 1, static_cast<EdgeOffset>(c.n) - 1)));
     case GraphShape::kGrid:
       return graph::grid2d(c.n, static_cast<VertexId>(c.m));
     case GraphShape::kIsolated:

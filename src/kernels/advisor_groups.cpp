@@ -68,8 +68,8 @@ void AdvisorGroupKernel::run_item(WarpCtx& warp, std::int64_t item) {
       warp.charge_alu(1);
     }
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
-      const WVec<float> x = warp.load_f32(feat_, chunk_idx(u, f_, c), m);
+      const WVec<float> x =
+          warp.load_f32_seq(feat_, chunk_start(u, f_, c), chunk_len(f_, c));
       auto& a = acc[static_cast<std::size_t>(c)];
       for (int l = 0; l < sim::kWarpSize; ++l)
         a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
@@ -81,8 +81,9 @@ void AdvisorGroupKernel::run_item(WarpCtx& warp, std::int64_t item) {
   // Partial results from the vertex's other groups land in the same row:
   // atomic merge (the Figure 8 atomic-write traffic).
   for (int c = 0; c < chunks; ++c) {
-    warp.atomic_add_f32(out_, chunk_idx(v, f_, c),
-                        acc[static_cast<std::size_t>(c)], chunk_mask(f_, c));
+    warp.atomic_add_f32_seq(out_, chunk_start(v, f_, c),
+                            acc[static_cast<std::size_t>(c)],
+                            chunk_len(f_, c));
   }
 }
 

@@ -13,6 +13,7 @@ namespace {
 /// Loads the 32 (src, dst) pairs of an edge-parallel item.
 struct EdgeBatch {
   Mask m = 0;
+  int n = 0;
   WVec<std::int32_t> src{};
   WVec<std::int32_t> dst{};
   std::int64_t base = 0;
@@ -22,21 +23,12 @@ EdgeBatch load_batch(WarpCtx& warp, const DeviceCoo& coo, std::int64_t item,
                      bool need_src, bool need_dst) {
   EdgeBatch b;
   b.base = item * sim::kWarpSize;
-  b.m = sim::lanes_below(static_cast<int>(
-      std::min<std::int64_t>(sim::kWarpSize, coo.m - b.base)));
-  WVec<std::int64_t> eidx{};
-  for (int l = 0; l < sim::kWarpSize; ++l)
-    eidx[static_cast<std::size_t>(l)] = b.base + l;
-  if (need_src) b.src = warp.load_i32(coo.src, eidx, b.m);
-  if (need_dst) b.dst = warp.load_i32(coo.dst, eidx, b.m);
+  b.n = static_cast<int>(
+      std::min<std::int64_t>(sim::kWarpSize, coo.m - b.base));
+  b.m = sim::lanes_below(b.n);
+  if (need_src) b.src = warp.load_i32_seq(coo.src, b.base, b.n);
+  if (need_dst) b.dst = warp.load_i32_seq(coo.dst, b.base, b.n);
   return b;
-}
-
-WVec<std::int64_t> edge_ids(std::int64_t base) {
-  WVec<std::int64_t> idx{};
-  for (int l = 0; l < sim::kWarpSize; ++l)
-    idx[static_cast<std::size_t>(l)] = base + l;
-  return idx;
 }
 
 WVec<std::int64_t> widen(const WVec<std::int32_t>& v) {
@@ -59,7 +51,7 @@ void EdgeLogitKernel::run_item(WarpCtx& warp, std::int64_t item) {
     logit[static_cast<std::size_t>(l)] = x >= 0.0f ? x : slope_ * x;
   }
   warp.charge_alu(3);  // add, compare, select
-  warp.store_f32(logit_, edge_ids(b.base), logit, b.m);
+  warp.store_f32_seq(logit_, b.base, logit, b.n);
 }
 
 std::string EdgeMapKernel::name() const {
@@ -83,14 +75,14 @@ std::string EdgeMapKernel::name() const {
 void EdgeMapKernel::run_item(WarpCtx& warp, std::int64_t item) {
   const bool need_dst = mode_ != Mode::kExp && mode_ != Mode::kCopy;
   const EdgeBatch b = load_batch(warp, coo_, item, false, need_dst);
-  WVec<float> a = warp.load_f32(a_, edge_ids(b.base), b.m);
+  WVec<float> a = warp.load_f32_seq(a_, b.base, b.n);
   switch (mode_) {
     case Mode::kSubDst: {
       const WVec<float> bv = warp.load_f32(b_, widen(b.dst), b.m);
       for (int l = 0; l < sim::kWarpSize; ++l)
         a[static_cast<std::size_t>(l)] -= bv[static_cast<std::size_t>(l)];
       warp.charge_alu(1);
-      warp.store_f32(a_, edge_ids(b.base), a, b.m);
+      warp.store_f32_seq(a_, b.base, a, b.n);
       break;
     }
     case Mode::kExp: {
@@ -100,7 +92,7 @@ void EdgeMapKernel::run_item(WarpCtx& warp, std::int64_t item) {
               std::exp(a[static_cast<std::size_t>(l)]);
       }
       warp.charge_alu(4);  // exp is a multi-instruction SFU sequence
-      warp.store_f32(a_, edge_ids(b.base), a, b.m);
+      warp.store_f32_seq(a_, b.base, a, b.n);
       break;
     }
     case Mode::kDivDst: {
@@ -110,11 +102,11 @@ void EdgeMapKernel::run_item(WarpCtx& warp, std::int64_t item) {
           a[static_cast<std::size_t>(l)] /= bv[static_cast<std::size_t>(l)];
       }
       warp.charge_alu(2);
-      warp.store_f32(a_, edge_ids(b.base), a, b.m);
+      warp.store_f32_seq(a_, b.base, a, b.n);
       break;
     }
     case Mode::kCopy:
-      warp.store_f32(out_, edge_ids(b.base), a, b.m);
+      warp.store_f32_seq(out_, b.base, a, b.n);
       break;
     case Mode::kAtomicMaxDst:
       warp.atomic_max_f32(b_, widen(b.dst), a, b.m);
@@ -128,7 +120,7 @@ void EdgeMapKernel::run_item(WarpCtx& warp, std::int64_t item) {
 void EdgeWeightedAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
   warp.site(TLP_SITE("eagg_edge_batch"));
   const EdgeBatch b = load_batch(warp, coo_, item, true, true);
-  const WVec<float> w = warp.load_f32(w_, edge_ids(b.base), b.m);
+  const WVec<float> w = warp.load_f32_seq(w_, b.base, b.n);
   // Same column-major walk as EdgeCentricAggKernel: 32 unrelated rows per
   // request in both the gather and the scatter — expected for the paper's
   // edge-parallel baselines, so reported but non-gating.
@@ -164,11 +156,11 @@ void UMulEMaterializeKernel::run_item(WarpCtx& warp, std::int64_t e) {
   const std::int32_t src = warp.load_scalar_i32(coo_.src, e);
   const float w = w_.is_null() ? 1.0f : warp.load_scalar_f32(w_, e);
   for (int c = 0; c < num_chunks(f_); ++c) {
-    const Mask m = chunk_mask(f_, c);
-    WVec<float> x = warp.load_f32(feat_, chunk_idx(src, f_, c), m);
+    const int n = chunk_len(f_, c);
+    WVec<float> x = warp.load_f32_seq(feat_, chunk_start(src, f_, c), n);
     for (auto& v : x) v *= w;
     warp.charge_alu(1);
-    warp.store_f32(msg_, chunk_idx(e, f_, c), x, m);
+    warp.store_f32_seq(msg_, chunk_start(e, f_, c), x, n);
   }
 }
 

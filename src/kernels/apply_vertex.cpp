@@ -12,15 +12,15 @@ void FillRowsKernel::run_item(WarpCtx& warp, std::int64_t v) {
   WVec<float> val{};
   for (auto& x : val) x = value_;
   for (int c = 0; c < num_chunks(f_); ++c) {
-    warp.store_f32(out_, chunk_idx(v, f_, c), val, chunk_mask(f_, c));
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), val, chunk_len(f_, c));
   }
 }
 
 void CopyRowsKernel::run_item(WarpCtx& warp, std::int64_t v) {
   for (int c = 0; c < num_chunks(f_); ++c) {
-    const Mask m = chunk_mask(f_, c);
-    const WVec<float> x = warp.load_f32(in_, chunk_idx(v, f_, c), m);
-    warp.store_f32(out_, chunk_idx(v, f_, c), x, m);
+    const int n = chunk_len(f_, c);
+    const WVec<float> x = warp.load_f32_seq(in_, chunk_start(v, f_, c), n);
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), x, n);
   }
 }
 
@@ -42,11 +42,11 @@ void RowScaleKernel::run_item(WarpCtx& warp, std::int64_t v) {
       break;
   }
   for (int c = 0; c < num_chunks(f_); ++c) {
-    const Mask m = chunk_mask(f_, c);
-    WVec<float> x = warp.load_f32(in_, chunk_idx(v, f_, c), m);
+    const int n = chunk_len(f_, c);
+    WVec<float> x = warp.load_f32_seq(in_, chunk_start(v, f_, c), n);
     for (auto& e : x) e *= s;
     warp.charge_alu(1);
-    warp.store_f32(out_, chunk_idx(v, f_, c), x, m);
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), x, n);
   }
 }
 
@@ -58,24 +58,24 @@ void AddScaledSelfKernel::run_item(WarpCtx& warp, std::int64_t v) {
     warp.charge_alu(1);
   }
   for (int c = 0; c < num_chunks(f_); ++c) {
-    const Mask m = chunk_mask(f_, c);
-    const WVec<float> x = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
-    WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+    const int n = chunk_len(f_, c);
+    const WVec<float> x = warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
+    WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
     for (int l = 0; l < sim::kWarpSize; ++l)
       cur[static_cast<std::size_t>(l)] += s * x[static_cast<std::size_t>(l)];
     warp.charge_alu(1);
-    warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
   }
 }
 
 void ScaleRowsByVecKernel::run_item(WarpCtx& warp, std::int64_t r) {
   const float s = warp.load_scalar_f32(vec_, r);
   for (int c = 0; c < num_chunks(f_); ++c) {
-    const Mask m = chunk_mask(f_, c);
-    WVec<float> x = warp.load_f32(in_, chunk_idx(r, f_, c), m);
+    const int n = chunk_len(f_, c);
+    WVec<float> x = warp.load_f32_seq(in_, chunk_start(r, f_, c), n);
     for (auto& e : x) e *= s;
     warp.charge_alu(1);
-    warp.store_f32(out_, chunk_idx(r, f_, c), x, m);
+    warp.store_f32_seq(out_, chunk_start(r, f_, c), x, n);
   }
 }
 
@@ -83,8 +83,9 @@ void VertexDotKernel::run_item(WarpCtx& warp, std::int64_t v) {
   float dot = 0.0f;
   for (int c = 0; c < num_chunks(f_); ++c) {
     const Mask m = chunk_mask(f_, c);
-    const WVec<float> x = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
-    const WVec<float> w = warp.load_f32(weight_, chunk_idx(0, f_, c), m);
+    const int n = chunk_len(f_, c);
+    const WVec<float> x = warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
+    const WVec<float> w = warp.load_f32_seq(weight_, chunk_start(0, f_, c), n);
     WVec<float> prod{};
     for (int l = 0; l < sim::kWarpSize; ++l)
       prod[static_cast<std::size_t>(l)] =
@@ -99,9 +100,10 @@ void GatHalvesKernel::run_item(WarpCtx& warp, std::int64_t v) {
   float s = 0.0f, d = 0.0f;
   for (int c = 0; c < num_chunks(f_); ++c) {
     const Mask m = chunk_mask(f_, c);
-    const WVec<float> x = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
-    const WVec<float> ws = warp.load_f32(a_src_, chunk_idx(0, f_, c), m);
-    const WVec<float> wd = warp.load_f32(a_dst_, chunk_idx(0, f_, c), m);
+    const int n = chunk_len(f_, c);
+    const WVec<float> x = warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
+    const WVec<float> ws = warp.load_f32_seq(a_src_, chunk_start(0, f_, c), n);
+    const WVec<float> wd = warp.load_f32_seq(a_dst_, chunk_start(0, f_, c), n);
     WVec<float> ps{}, pd{};
     for (int l = 0; l < sim::kWarpSize; ++l) {
       ps[static_cast<std::size_t>(l)] =
@@ -125,9 +127,7 @@ void SegmentReduceKernel::run_item(WarpCtx& warp, std::int64_t v) {
   for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
     const int n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e));
     const Mask m = sim::lanes_below(n);
-    WVec<std::int64_t> idx{};
-    for (int l = 0; l < n; ++l) idx[static_cast<std::size_t>(l)] = e + l;
-    const WVec<float> x = warp.load_f32(edge_vals_, idx, m);
+    const WVec<float> x = warp.load_f32_seq(edge_vals_, e, n);
     const float part = op_ == Op::kMax ? warp.reduce_max(x, m)
                                        : warp.reduce_sum(x, m);
     acc = op_ == Op::kMax ? std::max(acc, part) : acc + part;

@@ -59,6 +59,22 @@ tensor::Tensor download_features(sim::Device& dev, sim::DevPtr<float> p,
       remaining >= sim::kWarpSize ? sim::kWarpSize : remaining));
 }
 
+/// First element of chunk c of row `row` — lane l of the chunk accesses
+/// element chunk_start + l, which is what the WarpCtx _seq fast paths
+/// express directly (chunk_idx builds the same indices as an explicit
+/// gather vector for the scattered entry points).
+[[nodiscard]] constexpr std::int64_t chunk_start(std::int64_t row,
+                                                 std::int64_t f, int c) {
+  return row * f + static_cast<std::int64_t>(c) * sim::kWarpSize;
+}
+
+/// Active lane count of chunk c — popcount of chunk_mask(f, c).
+[[nodiscard]] constexpr int chunk_len(std::int64_t f, int c) {
+  const std::int64_t remaining = f - static_cast<std::int64_t>(c) * sim::kWarpSize;
+  return static_cast<int>(remaining >= sim::kWarpSize ? sim::kWarpSize
+                                                      : remaining);
+}
+
 /// Lane indices into a row-major feature matrix: row `row`, chunk `c`.
 [[nodiscard]] inline sim::WVec<std::int64_t> chunk_idx(std::int64_t row,
                                                        std::int64_t f, int c) {
@@ -81,6 +97,20 @@ tensor::Tensor download_features(sim::Device& dev, sim::DevPtr<float> p,
       hi - lo - static_cast<std::int64_t>(c) * sim::kWarpSize;
   return sim::lanes_below(static_cast<int>(
       remaining >= sim::kWarpSize ? sim::kWarpSize : remaining));
+}
+
+[[nodiscard]] constexpr std::int64_t slice_chunk_start(std::int64_t row,
+                                                       std::int64_t f,
+                                                       std::int64_t lo, int c) {
+  return row * f + lo + static_cast<std::int64_t>(c) * sim::kWarpSize;
+}
+
+[[nodiscard]] constexpr int slice_chunk_len(std::int64_t lo, std::int64_t hi,
+                                            int c) {
+  const std::int64_t remaining =
+      hi - lo - static_cast<std::int64_t>(c) * sim::kWarpSize;
+  return static_cast<int>(remaining >= sim::kWarpSize ? sim::kWarpSize
+                                                      : remaining);
 }
 
 [[nodiscard]] inline sim::WVec<std::int64_t> slice_chunk_idx(std::int64_t row,

@@ -26,16 +26,14 @@ std::string EdgeCentricAggKernel::name() const {
 
 void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
   const std::int64_t base = item * sim::kWarpSize;
-  const Mask m = sim::lanes_below(static_cast<int>(
-      std::min<std::int64_t>(sim::kWarpSize, coo_.m - base)));
+  const int nlanes = static_cast<int>(
+      std::min<std::int64_t>(sim::kWarpSize, coo_.m - base));
+  const Mask m = sim::lanes_below(nlanes);
 
   // Coalesced loads of the edge endpoints.
   warp.site(TLP_SITE("edge_endpoints"));
-  WVec<std::int64_t> eidx{};
-  for (int l = 0; l < sim::kWarpSize; ++l)
-    eidx[static_cast<std::size_t>(l)] = base + l;
-  const WVec<std::int32_t> src = warp.load_i32(coo_.src, eidx, m);
-  const WVec<std::int32_t> dst = warp.load_i32(coo_.dst, eidx, m);
+  const WVec<std::int32_t> src = warp.load_i32_seq(coo_.src, base, nlanes);
+  const WVec<std::int32_t> dst = warp.load_i32_seq(coo_.dst, base, nlanes);
 
   WVec<float> w{};
   for (auto& x : w) x = 1.0f;

@@ -19,7 +19,8 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
 
   if (deg == 0) {
     for (int c = 0; c < num_chunks(f_); ++c)
-      warp.store_f32(out_, chunk_idx(v, f_, c), WVec<float>{}, chunk_mask(f_, c));
+      warp.store_f32_seq(out_, chunk_start(v, f_, c), WVec<float>{},
+                         chunk_len(f_, c));
     return;
   }
 
@@ -44,9 +45,7 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
       b.n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e0));
       b.m = sim::lanes_below(b.n);
       warp.site(TLP_SITE("gat_logit_batch"));
-      WVec<std::int64_t> eidx{};
-      for (int l = 0; l < b.n; ++l) eidx[static_cast<std::size_t>(l)] = e0 + l;
-      b.us = warp.load_i32(g_.indices, eidx, b.m);
+      b.us = warp.load_i32_seq(g_.indices, e0, b.n);
       WVec<std::int64_t> uidx{};
       for (int l = 0; l < b.n; ++l)
         uidx[static_cast<std::size_t>(l)] =
@@ -95,11 +94,18 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
         warp.charge_alu(5);
         const auto u =
             static_cast<std::int64_t>(b.us[static_cast<std::size_t>(l)]);
+        // Host cache-warming hint only (no model effect): the next lane's
+        // neighbor id is already in registers, so start pulling its feature
+        // slice while this one aggregates.
+        if (l + 1 < b.n) {
+          const auto un =
+              static_cast<std::int64_t>(b.us[static_cast<std::size_t>(l + 1)]);
+          warp.prefetch(feat_, un * f_ + lo, hd);
+        }
         warp.site(TLP_SITE("gat_nbr_gather"));
         for (int c = 0; c < chunks; ++c) {
-          const Mask m = slice_chunk_mask(lo, hi, c);
-          const WVec<float> x =
-              warp.load_f32(feat_, slice_chunk_idx(u, f_, lo, c), m);
+          const WVec<float> x = warp.load_f32_seq(
+              feat_, slice_chunk_start(u, f_, lo, c), slice_chunk_len(lo, hi, c));
           auto& a = acc[static_cast<std::size_t>(c)];
           for (int k = 0; k < sim::kWarpSize; ++k)
             a[static_cast<std::size_t>(k)] +=
@@ -110,9 +116,9 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
     }
     warp.site(TLP_SITE("gat_out_store"));
     for (int c = 0; c < chunks; ++c)
-      warp.store_f32(out_, slice_chunk_idx(v, f_, lo, c),
-                     acc[static_cast<std::size_t>(c)],
-                     slice_chunk_mask(lo, hi, c));
+      warp.store_f32_seq(out_, slice_chunk_start(v, f_, lo, c),
+                         acc[static_cast<std::size_t>(c)],
+                         slice_chunk_len(lo, hi, c));
   }
 }
 
@@ -123,9 +129,7 @@ void GatSoftmaxKernel::run_item(WarpCtx& warp, std::int64_t v) {
   const float dh = warp.load_scalar_f32(dh_, v);
 
   auto batch_logits = [&](std::int64_t e0, Mask m, int n) -> WVec<float> {
-    WVec<std::int64_t> eidx{};
-    for (int l = 0; l < n; ++l) eidx[static_cast<std::size_t>(l)] = e0 + l;
-    const WVec<std::int32_t> us = warp.load_i32(g_.indices, eidx, m);
+    const WVec<std::int32_t> us = warp.load_i32_seq(g_.indices, e0, n);
     WVec<std::int64_t> uidx{};
     for (int l = 0; l < n; ++l)
       uidx[static_cast<std::size_t>(l)] = us[static_cast<std::size_t>(l)];
@@ -158,21 +162,16 @@ void GatSoftmaxKernel::run_item(WarpCtx& warp, std::int64_t v) {
           std::exp(ex[static_cast<std::size_t>(l)] - mx);
     warp.charge_alu(4);
     denom += warp.reduce_sum(ex, m);
-    WVec<std::int64_t> eidx{};
-    for (int l = 0; l < n; ++l) eidx[static_cast<std::size_t>(l)] = e + l;
-    warp.store_f32(alpha_, eidx, ex, m);
+    warp.store_f32_seq(alpha_, e, ex, n);
   }
 
   // Pass 3: normalize the stored alphas (L1-hot read-modify-write).
   for (std::int64_t e = start; e < end; e += sim::kWarpSize) {
     const int n = static_cast<int>(std::min<std::int64_t>(sim::kWarpSize, end - e));
-    const Mask m = sim::lanes_below(n);
-    WVec<std::int64_t> eidx{};
-    for (int l = 0; l < n; ++l) eidx[static_cast<std::size_t>(l)] = e + l;
-    WVec<float> a = warp.load_f32(alpha_, eidx, m);
+    WVec<float> a = warp.load_f32_seq(alpha_, e, n);
     for (int l = 0; l < n; ++l) a[static_cast<std::size_t>(l)] /= denom;
     warp.charge_alu(2);
-    warp.store_f32(alpha_, eidx, a, m);
+    warp.store_f32_seq(alpha_, e, a, n);
   }
 }
 

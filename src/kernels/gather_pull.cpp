@@ -38,6 +38,16 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
   for (std::int64_t e = start; e < end; ++e) {
     warp.site(TLP_SITE("pull_edge_walk"));
     const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    // Host-side hint only (no model effect): start pulling a later
+    // neighbor's scattered feature row into the host caches while this
+    // edge's model work runs. Distance 4 gives the host memory system a
+    // few edges of latency to hide; the first rows of a segment are
+    // covered by the prefetch issued while the previous vertex ran.
+    if (e + 4 < end) {
+      const auto un =
+          static_cast<std::int64_t>(warp.peek(g_.indices, e + 4));
+      warp.prefetch(feat_, un * f_, f_);
+    }
     float w = 1.0f;
     if (is_gcn) {
       w = warp.load_scalar_f32(g_.norm, u) * norm_v;
@@ -49,8 +59,8 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
     }
     warp.site(TLP_SITE("pull_nbr_gather"));
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
-      const WVec<float> x = warp.load_f32(feat_, chunk_idx(u, f_, c), m);
+      const WVec<float> x =
+          warp.load_f32_seq(feat_, chunk_start(u, f_, c), chunk_len(f_, c));
       auto& a = acc[static_cast<std::size_t>(c)];
       for (int l = 0; l < sim::kWarpSize; ++l)
         a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
@@ -64,11 +74,12 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
   warp.site(TLP_SITE("pull_epilogue"));
   const std::int64_t deg = end - start;
   for (int c = 0; c < chunks; ++c) {
-    const Mask m = chunk_mask(f_, c);
+    const int n = chunk_len(f_, c);
     auto& a = acc[static_cast<std::size_t>(c)];
     switch (conv_.kind) {
       case ModelKind::kGcn: {
-        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        const WVec<float> self =
+            warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
         for (int l = 0; l < sim::kWarpSize; ++l)
           a[static_cast<std::size_t>(l)] +=
               norm_v * norm_v * self[static_cast<std::size_t>(l)];
@@ -76,7 +87,8 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
         break;
       }
       case ModelKind::kGin: {
-        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        const WVec<float> self =
+            warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
         for (int l = 0; l < sim::kWarpSize; ++l)
           a[static_cast<std::size_t>(l)] +=
               (1.0f + conv_.gin_eps) * self[static_cast<std::size_t>(l)];
@@ -94,7 +106,7 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
       case ModelKind::kGat:
         TLP_CHECK_MSG(false, "GAT uses FusedGatKernel");
     }
-    warp.store_f32(out_, chunk_idx(v, f_, c), a, m);
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), a, n);
   }
 }
 
@@ -114,10 +126,9 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
 
   // Zero the accumulator rows in global memory first.
   warp.site(TLP_SITE("pull_nocache_zero"));
-  for (int c = 0; c < chunks; ++c) {
-    const Mask m = chunk_mask(f_, c);
-    warp.store_f32(out_, chunk_idx(v, f_, c), WVec<float>{}, m);
-  }
+  for (int c = 0; c < chunks; ++c)
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), WVec<float>{},
+                       chunk_len(f_, c));
 
   warp.site(refetch_site);
   std::int64_t e = warp.load_scalar_i64(g_.indptr, v);
@@ -127,6 +138,11 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
     const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
     if (e >= end) break;
     const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    if (e + 1 < end) {
+      const auto un =
+          static_cast<std::int64_t>(warp.peek(g_.indices, e + 1));
+      warp.prefetch(feat_, un * f_, f_);
+    }
     float w = 1.0f;
     if (is_gcn) {
       const float norm_v = warp.load_scalar_f32(g_.norm, v);
@@ -139,13 +155,14 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
     }
     warp.site(TLP_SITE("pull_nocache_rmw"));
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
-      const WVec<float> x = warp.load_f32(feat_, chunk_idx(u, f_, c), m);
-      WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+      const int n = chunk_len(f_, c);
+      const WVec<float> x =
+          warp.load_f32_seq(feat_, chunk_start(u, f_, c), n);
+      WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
       for (int l = 0; l < sim::kWarpSize; ++l)
         cur[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
       warp.charge_alu(1);
-      warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+      warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
     }
     warp.charge_alu(1);
     ++e;
@@ -157,12 +174,13 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
   const std::int64_t end = warp.load_scalar_i64(g_.indptr, v + 1);
   const std::int64_t deg = end - start;
   for (int c = 0; c < chunks; ++c) {
-    const Mask m = chunk_mask(f_, c);
-    WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+    const int n = chunk_len(f_, c);
+    WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
     switch (conv_.kind) {
       case ModelKind::kGcn: {
         const float norm_v = warp.load_scalar_f32(g_.norm, v);
-        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        const WVec<float> self =
+            warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
         for (int l = 0; l < sim::kWarpSize; ++l)
           cur[static_cast<std::size_t>(l)] +=
               norm_v * norm_v * self[static_cast<std::size_t>(l)];
@@ -170,7 +188,8 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
         break;
       }
       case ModelKind::kGin: {
-        const WVec<float> self = warp.load_f32(feat_, chunk_idx(v, f_, c), m);
+        const WVec<float> self =
+            warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
         for (int l = 0; l < sim::kWarpSize; ++l)
           cur[static_cast<std::size_t>(l)] +=
               (1.0f + conv_.gin_eps) * self[static_cast<std::size_t>(l)];
@@ -188,7 +207,7 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
       case ModelKind::kGat:
         TLP_CHECK_MSG(false, "GAT uses FusedGatKernel");
     }
-    warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
   }
 }
 

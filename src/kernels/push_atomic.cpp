@@ -35,7 +35,7 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
   std::array<WVec<float>, kMaxChunks> self{};
   for (int c = 0; c < chunks; ++c) {
     self[static_cast<std::size_t>(c)] =
-        warp.load_f32(feat_, chunk_idx(v, f_, c), chunk_mask(f_, c));
+        warp.load_f32_seq(feat_, chunk_start(v, f_, c), chunk_len(f_, c));
   }
   // Self-loop contribution: v also owns its own row's self term. Other warps
   // may be adding to the same row concurrently, so this is atomic too.
@@ -45,25 +45,31 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
                                : 0.0f;
   if (self_scale != 0.0f) {
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
       WVec<float> msg = self[static_cast<std::size_t>(c)];
       for (auto& x : msg) x *= self_scale;
       warp.charge_alu(1);
       warp.site(TLP_SITE("push_self_scatter"));
-      warp.atomic_add_f32(out_, chunk_idx(v, f_, c), msg, m);
+      warp.atomic_add_f32_seq(out_, chunk_start(v, f_, c), msg,
+                              chunk_len(f_, c));
     }
   }
 
   for (std::int64_t e = start; e < end; ++e) {
     warp.site(TLP_SITE("push_edge_walk"));
     const std::int32_t u = warp.load_scalar_i32(g_.indices, e);
+    // Host cache-warming hint only (no model effect): the next destination
+    // row is a scattered read-modify-write; start pulling it now.
+    if (e + 1 < end) {
+      const auto un =
+          static_cast<std::int64_t>(warp.peek(g_.indices, e + 1));
+      warp.prefetch(out_, un * f_, f_);
+    }
     float w = 1.0f;
     if (is_gcn) {
       w = warp.load_scalar_f32(g_.norm, u) * norm_v;
       warp.charge_alu(1);
     }
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
       WVec<float> msg = self[static_cast<std::size_t>(c)];
       for (auto& x : msg) x *= w;
       warp.charge_alu(1);
@@ -72,7 +78,8 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
       // suppressed: TLP-ATOM-004 firing here is the paper's Observation I,
       // and the baseline file is where that known warning lives.
       warp.site(TLP_SITE("push_edge_scatter"));
-      warp.atomic_add_f32(out_, chunk_idx(u, f_, c), msg, m);
+      warp.atomic_add_f32_seq(out_, chunk_start(u, f_, c), msg,
+                              chunk_len(f_, c));
     }
     warp.charge_alu(1);
   }

@@ -45,10 +45,19 @@ void SpmmKernel::run_cached(WarpCtx& warp, std::int64_t v) {
     std::int64_t row = e;  // kMessages: X is indexed by edge id
     if (weighting_ != Weighting::kMessages)
       row = warp.load_scalar_i32(g_.indices, e);
+    // Host cache-warming hint only (no model effect): overlap the next
+    // row's scattered gather with this edge's model work.
+    if (e + 1 < end) {
+      const std::int64_t next =
+          weighting_ == Weighting::kMessages
+              ? e + 1
+              : static_cast<std::int64_t>(warp.peek(g_.indices, e + 1));
+      warp.prefetch(x_, next * f_, f_);
+    }
     const float w = edge_weight(warp, e, row, norm_v);
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
-      const WVec<float> x = warp.load_f32(x_, chunk_idx(row, f_, c), m);
+      const WVec<float> x =
+          warp.load_f32_seq(x_, chunk_start(row, f_, c), chunk_len(f_, c));
       auto& a = acc[static_cast<std::size_t>(c)];
       for (int l = 0; l < sim::kWarpSize; ++l)
         a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
@@ -65,7 +74,7 @@ void SpmmKernel::run_cached(WarpCtx& warp, std::int64_t v) {
       for (auto& x : a) x *= inv;
       warp.charge_alu(1);
     }
-    warp.store_f32(out_, chunk_idx(v, f_, c), a, chunk_mask(f_, c));
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), a, chunk_len(f_, c));
   }
 }
 
@@ -74,7 +83,8 @@ void SpmmKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
   // memory (cf. Figure 7b).
   const int chunks = num_chunks(f_);
   for (int c = 0; c < chunks; ++c)
-    warp.store_f32(out_, chunk_idx(v, f_, c), WVec<float>{}, chunk_mask(f_, c));
+    warp.store_f32_seq(out_, chunk_start(v, f_, c), WVec<float>{},
+                       chunk_len(f_, c));
 
   const float norm_v = weighting_ == Weighting::kGcnNormPair
                            ? warp.load_scalar_f32(g_.norm, v)
@@ -89,13 +99,13 @@ void SpmmKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
       row = warp.load_scalar_i32(g_.indices, e);
     const float w = edge_weight(warp, e, row, norm_v);
     for (int c = 0; c < chunks; ++c) {
-      const Mask m = chunk_mask(f_, c);
-      const WVec<float> x = warp.load_f32(x_, chunk_idx(row, f_, c), m);
-      WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+      const int n = chunk_len(f_, c);
+      const WVec<float> x = warp.load_f32_seq(x_, chunk_start(row, f_, c), n);
+      WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
       for (int l = 0; l < sim::kWarpSize; ++l)
         cur[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
       warp.charge_alu(1);
-      warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+      warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
     }
     warp.charge_alu(1);
     ++e;
@@ -108,11 +118,11 @@ void SpmmKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
     if (deg > 0) {
       const float inv = 1.0f / static_cast<float>(deg);
       for (int c = 0; c < chunks; ++c) {
-        const Mask m = chunk_mask(f_, c);
-        WVec<float> cur = warp.load_f32(out_, chunk_idx(v, f_, c), m);
+        const int n = chunk_len(f_, c);
+        WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
         for (auto& x : cur) x *= inv;
         warp.charge_alu(1);
-        warp.store_f32(out_, chunk_idx(v, f_, c), cur, m);
+        warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
       }
     }
   }

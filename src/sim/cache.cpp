@@ -1,5 +1,7 @@
 #include "sim/cache.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace tlp::sim {
@@ -12,40 +14,27 @@ SetAssocCache::SetAssocCache(std::int64_t capacity_bytes, int line_bytes,
   TLP_CHECK_MSG(lines >= ways && lines % ways == 0,
                 "capacity must hold a whole number of sets");
   num_sets_ = static_cast<int>(lines / ways);
-  ways_storage_.assign(static_cast<std::size_t>(num_sets_) * ways_, Way{});
-}
-
-bool SetAssocCache::access(std::uint64_t byte_addr) {
-  const std::uint64_t line = byte_addr / static_cast<std::uint64_t>(line_bytes_);
-  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
-  Way* base = &ways_storage_[set * static_cast<std::size_t>(ways_)];
-  ++accesses_;
-  ++tick_;
-  std::size_t victim = 0;
-  for (int w = 0; w < ways_; ++w) {
-    if (base[w].tag == line) {
-      base[w].last_use = tick_;
-      ++hits_;
-      return true;
-    }
-    if (base[w].last_use < base[victim].last_use) victim = static_cast<std::size_t>(w);
-  }
-  base[victim] = Way{line, tick_};
-  return false;
+  const auto ulines = static_cast<std::uint64_t>(line_bytes_);
+  if (std::has_single_bit(ulines))
+    line_shift_ = std::countr_zero(ulines);
+  const auto usets = static_cast<std::uint64_t>(num_sets_);
+  if (std::has_single_bit(usets)) set_mask_ = usets - 1;
+  ways_flat_.assign(static_cast<std::size_t>(num_sets_) * ways_, Way{0, 0});
 }
 
 bool SetAssocCache::contains(std::uint64_t byte_addr) const {
-  const std::uint64_t line = byte_addr / static_cast<std::uint64_t>(line_bytes_);
-  const auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
-  const Way* base = &ways_storage_[set * static_cast<std::size_t>(ways_)];
-  for (int w = 0; w < ways_; ++w) {
-    if (base[w].tag == line) return true;
+  const std::uint64_t line = line_of(byte_addr);
+  const std::size_t base = set_of(line) * static_cast<std::size_t>(ways_);
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(ways_); ++w) {
+    if (ways_flat_[w].tag == line && ways_flat_[w].last_use != 0) return true;
   }
   return false;
 }
 
 void SetAssocCache::reset() {
-  ways_storage_.assign(ways_storage_.size(), Way{});
+  ways_flat_.assign(ways_flat_.size(), Way{0, 0});
+  last_line_ = 0;
+  last_way_ = kNoWay;
   tick_ = 0;
   accesses_ = 0;
   hits_ = 0;

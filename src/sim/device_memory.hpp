@@ -168,6 +168,38 @@ class DeviceMemory {
     std::memcpy(arena_.data() + byte_addr, &value, sizeof(T));
   }
 
+  /// Bulk transfer of `count` consecutive elements with a single range
+  /// bounds check — the warp context's sequential fast path. The range check
+  /// subsumes the per-element checks a lane-by-lane loop would make: any
+  /// element out of the arena puts the range end out of the arena too.
+  template <class T>
+  void read_block(std::uint64_t byte_addr, T* out, std::size_t count) const {
+    bounds_check(byte_addr, count * sizeof(T));
+    std::memcpy(out, arena_.data() + byte_addr, count * sizeof(T));
+  }
+  template <class T>
+  void write_block(std::uint64_t byte_addr, const T* in, std::size_t count) {
+    bounds_check(byte_addr, count * sizeof(T));
+    std::memcpy(arena_.data() + byte_addr, in, count * sizeof(T));
+  }
+
+  /// Host-side cache-warming hint with no simulation effect whatsoever: no
+  /// bounds check, no guarded-mode check, no counters, no data movement. The
+  /// kernels use it to overlap the host-DRAM latency of the next edge's
+  /// scattered feature row with the current edge's model work — the arena is
+  /// far larger than the host LLC, so these gather reads are what the whole
+  /// simulator waits on. Out-of-range hints are clamped, not faulted
+  /// (__builtin_prefetch never traps anyway, but the pointer arithmetic must
+  /// stay in range).
+  void host_prefetch(std::uint64_t byte_addr, std::size_t bytes) const {
+    if (byte_addr >= arena_.size()) return;
+    const std::byte* p = arena_.data() + byte_addr;
+    const std::byte* end =
+        arena_.data() + std::min<std::uint64_t>(arena_.size(),
+                                                byte_addr + bytes);
+    for (; p < end; p += 64) __builtin_prefetch(p, 0, 1);
+  }
+
   // --- guarded-mode kernel context ----------------------------------------
   /// Called by the scheduler around each kernel: names the kernel for error
   /// messages and clears the per-kernel write-race shadow map.

@@ -14,6 +14,11 @@ struct GpuSpec {
   int max_blocks_per_sm = 32;   ///< hardware block-slot limit
   int warp_size = 32;
   int max_threads_per_block = 1024;
+  /// Per-SM thread-slot limit (V100: 2048). Bounds residency together with
+  /// the warp-slot and block-slot limits; on architectures where this is
+  /// smaller than warps_per_sm * warp_size (e.g. Turing's 1024 slots with
+  /// 32 KB register files) the thread limit binds first for wide blocks.
+  int max_threads_per_sm = 2048;
   /// Warp-instructions issued per SM per cycle (4 schedulers on V100).
   int issue_width = 4;
 

@@ -1,43 +1,56 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 
 namespace tlp::sim {
 
-namespace {
-
-/// Resident blocks per SM for a given block width, limited by the hardware
-/// block-slot count, the warp-slot count, and the thread count.
 int resident_blocks_per_sm(const GpuSpec& spec, int warps_per_block) {
   const int by_warps = std::max(1, spec.warps_per_sm / warps_per_block);
   const int by_threads = std::max(
-      1, spec.max_threads_per_block * spec.warps_per_sm /
-             (spec.warp_size * warps_per_block * spec.warp_size));
-  (void)by_threads;  // thread limit never binds for <=1024-thread blocks
-  return std::min(spec.max_blocks_per_sm, by_warps);
+      1, spec.max_threads_per_sm / (spec.warp_size * warps_per_block));
+  return std::min({spec.max_blocks_per_sm, by_warps, by_threads});
+}
+
+namespace {
+
+/// Reusable per-launch buffers. The simulator is single-threaded and kernels
+/// never launch kernels (run_item is leaf compute), so one scratch set per
+/// thread serves every run_* call without per-launch heap churn.
+struct SchedulerScratch {
+  std::vector<double> durations;
+  std::vector<double> slot_heap;
+  std::vector<std::pair<double, std::int64_t>> pool_heap;
+};
+
+SchedulerScratch& scratch() {
+  static thread_local SchedulerScratch s;
+  return s;
 }
 
 /// Greedy slot schedule: `slots` servers process block durations in order;
 /// returns the makespan and accumulates Σ duration per block into
-/// `service_integral` (used for the occupancy integral).
+/// `service_integral` (used for the occupancy integral). The min-heap lives
+/// in scratch so repeated launches reuse its storage.
 double slot_makespan(const std::vector<double>& durations, int slots,
                      double dispatch_cycles, double* service_sum) {
   TLP_CHECK(slots >= 1);
-  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
-  for (int i = 0; i < slots; ++i) heap.push(0.0);
+  std::vector<double>& heap = scratch().slot_heap;
+  heap.assign(static_cast<std::size_t>(slots), 0.0);  // all-zero is a heap
   double makespan = 0.0;
   double service = 0.0;
   for (const double d : durations) {
-    const double start = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const double start = heap.back();
     const double end = start + dispatch_cycles + d;
     service += dispatch_cycles + d;
     makespan = std::max(makespan, end);
-    heap.push(end);
+    heap.back() = end;
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
   }
   if (service_sum != nullptr) *service_sum = service;
   return makespan;
@@ -87,9 +100,11 @@ void run_hardware_dynamic(MemorySystem& sys, WarpKernel& kernel,
   rec.blocks = blocks;
   rec.warps_per_block = wpb;
 
-  std::vector<double> durations;
+  std::vector<double>& durations = scratch().durations;
+  durations.clear();
   durations.reserve(static_cast<std::size_t>(blocks));
   double resident_integral = 0.0;
+  WarpCtx warp(sys, 0);
   for (std::int64_t b = 0; b < blocks; ++b) {
     const int sm = static_cast<int>(b % spec.num_sms);
     double block_serial = 0.0;
@@ -97,7 +112,7 @@ void run_hardware_dynamic(MemorySystem& sys, WarpKernel& kernel,
     const std::int64_t lo = b * wpb;
     const std::int64_t hi = std::min<std::int64_t>(n, lo + wpb);
     for (std::int64_t item = lo; item < hi; ++item) {
-      WarpCtx warp(sys, sm, /*warp_id=*/item);
+      warp.reassign(sm, /*warp_id=*/item);
       warp.begin_item(item);
       kernel.run_item(warp, item);
       rec.issue_cycles += warp.issue_cycles();
@@ -132,16 +147,18 @@ void run_static_chunk(MemorySystem& sys, WarpKernel& kernel,
   rec.blocks = blocks;
   rec.warps_per_block = wpb;
 
-  std::vector<double> durations;
+  std::vector<double>& durations = scratch().durations;
+  durations.clear();
   durations.reserve(static_cast<std::size_t>(blocks));
   double resident_integral = 0.0;
+  WarpCtx warp(sys, 0);
   for (std::int64_t b = 0; b < blocks; ++b) {
     const int sm = static_cast<int>(b % spec.num_sms);
     double block_serial = 0.0;
     int block_warps = 0;
     for (std::int64_t w = b * wpb;
          w < std::min<std::int64_t>(total_warps, (b + 1) * wpb); ++w) {
-      WarpCtx warp(sys, sm, /*warp_id=*/w);
+      warp.reassign(sm, /*warp_id=*/w);
       const std::int64_t lo = w * chunk;
       const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
       for (std::int64_t item = lo; item < hi; ++item) {
@@ -192,20 +209,27 @@ void run_software_pool(MemorySystem& sys, WarpKernel& kernel,
   // Seeding with a tiny per-warp skew makes the initial grab order
   // deterministic and id-ordered; together with the round-robin warp->SM
   // striping below this spreads consecutive chunks across SMs the way a
-  // real grid launch does.
+  // real grid launch does. The heap's storage lives in scratch; pop order
+  // depends only on the (time, id) ordering, which is total, so the manual
+  // heap reproduces std::priority_queue exactly.
   using Entry = std::pair<double, std::int64_t>;  // (virtual time, warp id)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<Entry>& heap = scratch().pool_heap;
+  heap.clear();
+  heap.reserve(static_cast<std::size_t>(total_warps));
   for (std::int64_t w = 0; w < total_warps; ++w)
-    heap.push({static_cast<double>(w) * 1e-6, w});
+    heap.emplace_back(static_cast<double>(w) * 1e-6, w);
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
   double pool_available = 0.0;
   double makespan = 0.0;
   double resident_integral = 0.0;
 
+  WarpCtx warp(sys, 0);
   while (!heap.empty()) {
-    const auto [t, w] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [t, w] = heap.back();
+    heap.pop_back();
     const int sm = static_cast<int>(w % spec.num_sms);
-    WarpCtx warp(sys, sm, /*warp_id=*/w);
+    warp.reassign(sm, /*warp_id=*/w);
     const double grab_time = std::max(t, pool_available);
     pool_available = grab_time + spec.pool_grab_gap_cycles;
     warp.site(TLP_SITE_SUPPRESS(
@@ -233,7 +257,8 @@ void run_software_pool(MemorySystem& sys, WarpKernel& kernel,
     rec.issue_cycles += warp.issue_cycles();
     rec.mem_stall_cycles += warp.mem_cycles();
     t_new += warp.total_cycles();
-    heap.push({t_new, w});
+    heap.emplace_back(t_new, w);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>{});
   }
 
   sys.mem.free(pool);

@@ -15,4 +15,12 @@ namespace tlp::sim {
 void run_kernel(MemorySystem& sys, WarpKernel& kernel, const LaunchConfig& cfg,
                 KernelRecord& rec);
 
+/// Resident blocks per SM for a given block width: the minimum of the
+/// hardware block-slot limit, the warp-slot limit, and the thread-slot limit
+/// (max_threads_per_sm / (warp_size * warps_per_block)). Exposed for the
+/// occupancy regression tests; the run_* scheduling loops use it to size the
+/// block-slot pool.
+[[nodiscard]] int resident_blocks_per_sm(const GpuSpec& spec,
+                                         int warps_per_block);
+
 }  // namespace tlp::sim

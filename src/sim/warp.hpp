@@ -60,6 +60,19 @@ class WarpCtx {
   WarpCtx(MemorySystem& sys, int sm_id, std::int64_t warp_id = -1)
       : sys_(&sys), sm_(sm_id), warp_id_(warp_id) {}
 
+  /// Rebinds this context to a new (sm, warp) identity with all per-warp
+  /// state (costs, site, item, request ordinal) reset — equivalent to
+  /// constructing a fresh WarpCtx, but lets the scheduler loops reuse one
+  /// object instead of re-creating it per warp (DESIGN.md §10).
+  void reassign(int sm_id, std::int64_t warp_id) {
+    sm_ = sm_id;
+    warp_id_ = warp_id;
+    issue_ = mem_ = 0;
+    site_ = nullptr;
+    item_ = -1;
+    slot_ = 0;
+  }
+
   // --- per-warp cost accumulators (read by the scheduler) ------------------
   [[nodiscard]] double issue_cycles() const { return issue_; }
   [[nodiscard]] double mem_cycles() const { return mem_; }
@@ -80,6 +93,28 @@ class WarpCtx {
   /// Scatter: lane l writes val[l] to base[idx[l]] when active.
   void store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
                  const WVec<float>& val, Mask m);
+
+  // --- sequential-range vector operations ----------------------------------
+  // The dominant access shape in every TLPGNN kernel is "lane l touches
+  // element start+l for l in [0, n)" — a feature-row chunk or an edge-id
+  // batch. These entry points express that shape directly, so the simulator
+  // can replace the 32-iteration per-lane loop (index build, address math,
+  // per-element bounds check, scattered read) with one range-checked block
+  // copy and closed-form line/sector accounting. Counters, costs, cache
+  // state, and data effects are byte-identical to calling the general
+  // gather/scatter with idx[l] = start+l and mask lanes_below(n).
+  /// Lane l (l < n) reads base[start+l]; equivalent to load_f32 with a
+  /// lanes_below(n) mask. n is clamped to the warp size; n <= 0 is a no-op.
+  WVec<float> load_f32_seq(DevPtr<float> base, std::int64_t start, int n);
+  WVec<std::int32_t> load_i32_seq(DevPtr<std::int32_t> base,
+                                  std::int64_t start, int n);
+  /// Lane l (l < n) writes val[l] to base[start+l].
+  void store_f32_seq(DevPtr<float> base, std::int64_t start,
+                     const WVec<float>& val, int n);
+  /// Lane l (l < n) atomically adds val[l] to base[start+l]. The addresses
+  /// are distinct by construction, so no conflict replay is ever charged.
+  void atomic_add_f32_seq(DevPtr<float> base, std::int64_t start,
+                          const WVec<float>& val, int n);
   /// Atomic scatter-add with conflict serialization across lanes.
   void atomic_add_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
                       const WVec<float>& val, Mask m);
@@ -98,6 +133,27 @@ class WarpCtx {
   std::uint32_t atomic_add_u32(DevPtr<std::uint32_t> base, std::int64_t idx,
                                std::uint32_t add);
   float atomic_add_scalar_f32(DevPtr<float> base, std::int64_t idx, float v);
+
+  // --- host-side performance hints (no simulation effect) ------------------
+  /// Cache-warming hint for the simulator's own backing memory: prefetches
+  /// the host cache lines holding base[idx .. idx+count) and touches nothing
+  /// in the model — no counters, no tag probes, no latency, no trace. The
+  /// edge loops use it to overlap the host-DRAM latency of the next edge's
+  /// scattered feature row with the current edge's model work; the simulated
+  /// metrics are byte-identical with or without the hint.
+  template <class T>
+  void prefetch(DevPtr<T> base, std::int64_t idx, std::int64_t count = 1) {
+    if (idx >= 0 && count > 0)
+      sys_->mem.host_prefetch(base.addr(idx),
+                              static_cast<std::size_t>(count) * sizeof(T));
+  }
+  /// Host-side read used only to compute prefetch addresses (e.g. the next
+  /// edge's neighbor id). Bounds-checked like any arena read but invisible
+  /// to the model: no request, no counters, no trace.
+  template <class T>
+  [[nodiscard]] T peek(DevPtr<T> base, std::int64_t idx) const {
+    return sys_->mem.read<T>(base.addr(idx));
+  }
 
   // --- warp collectives -----------------------------------------------------
   /// Butterfly-shuffle reduction (5 shuffle instructions), sum over active
@@ -126,6 +182,50 @@ class WarpCtx {
   /// does not mistake them for masked-out lanes.
   void request(const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
                int bytes_per_lane, Op op, bool scalar = false);
+
+  /// Accounting for a request whose active lanes all fall in one 128 B line
+  /// (`smask` = the 4-bit 32 B-sector mask within it): one probe, no dedup.
+  /// Shared by the fused lane-loop scans in the vector load/store entry
+  /// points and by request()'s own single-line detection, so both paths
+  /// produce byte-identical counters and costs.
+  void request_one_line(std::uint64_t line0, std::uint32_t smask, Op op);
+
+  /// A deduplicated 128 B line with the mask of its touched 32 B sectors.
+  struct SectorLine {
+    std::uint64_t line;
+    std::uint32_t sectors;
+  };
+
+  /// Probes and accounts `nlines` deduplicated lines in order — the shared
+  /// core of the general gather/scatter path and the two-line sequential
+  /// case. Includes the per-request counters (requests, issue).
+  void request_lines(const SectorLine* lines, int nlines, Op op);
+
+  /// General multi-line path: dedupes lane addresses into lines with
+  /// per-line sector masks (first-occurrence order) and probes each.
+  /// Trace/slot bookkeeping is the caller's job.
+  void request_general(const std::array<std::uint64_t, kWarpSize>& addr,
+                       Mask m, Op op);
+
+  /// Accounting for a contiguous element range [first_addr, last_addr]
+  /// (addresses of the first and last element): the range covers every
+  /// sector in between, so the line set and per-line sector masks follow
+  /// arithmetically — one line, or two adjacent ones. Trace/slot
+  /// bookkeeping is the caller's job.
+  void request_span(std::uint64_t first_addr, std::uint64_t last_addr, Op op);
+
+  /// Fast path for single-lane broadcast accesses (indptr bounds, neighbor
+  /// ids, pool counters): one line, one sector, no dedup pass and no 32-lane
+  /// address array. Produces exactly the counters/costs request() would for
+  /// mask 0x1, including the identical TraceAccess when a trace is attached.
+  void request_scalar(std::uint64_t addr, int bytes_per_lane, Op op);
+
+  /// Cold path: builds and records the TraceAccess for an attached tlpsan
+  /// trace. Kept out of line so the (trace == nullptr) common case pays only
+  /// a predicted-not-taken branch in the request hot path.
+  [[gnu::noinline]] void record_trace(
+      const std::array<std::uint64_t, kWarpSize>& addr, Mask m,
+      int bytes_per_lane, Op op, bool scalar);
 
   /// Guarded-memory hook: reports one store lane to the write-race detector.
   void note_store(std::uint64_t addr, int bytes, bool atomic) {

@@ -1,11 +1,115 @@
 // Tests for the set-associative tag cache model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
 #include "common/check.hpp"
 #include "sim/cache.hpp"
 
 namespace tlp::sim {
 namespace {
+
+/// Naive reference LRU model: per set, an ordered map from line to the tick
+/// of its last use. Deliberately written with none of the production model's
+/// optimizations (no flat arrays, no shift/mask indexing, no MRU filter) so
+/// the differential test below exercises the rewrite against an obviously
+/// correct implementation, including the victim tie-break on equal ages
+/// (never happens with a global tick, but the structure keeps it explicit).
+class ReferenceLru {
+ public:
+  ReferenceLru(std::int64_t capacity_bytes, int line_bytes, int ways)
+      : line_bytes_(line_bytes),
+        ways_(ways),
+        sets_(static_cast<std::size_t>(capacity_bytes / line_bytes / ways)) {}
+
+  bool access(std::uint64_t byte_addr) {
+    const std::uint64_t line =
+        byte_addr / static_cast<std::uint64_t>(line_bytes_);
+    auto& set = sets_[static_cast<std::size_t>(
+        line % static_cast<std::uint64_t>(sets_.size()))];
+    ++tick_;
+    auto it = set.find(line);
+    if (it != set.end()) {
+      it->second = tick_;
+      return true;
+    }
+    if (static_cast<int>(set.size()) == ways_) {
+      auto victim = set.begin();
+      for (auto i = set.begin(); i != set.end(); ++i)
+        if (i->second < victim->second) victim = i;
+      set.erase(victim);
+    }
+    set.emplace(line, tick_);
+    return false;
+  }
+
+ private:
+  int line_bytes_;
+  int ways_;
+  std::vector<std::map<std::uint64_t, std::uint64_t>> sets_;
+  std::uint64_t tick_ = 0;
+};
+
+// Differential stress test guarding the flat tag-array rewrite: random
+// address streams (mixes of uniform-random lines, hot working sets, and
+// sequential sweeps) must produce the exact hit/miss sequence of the naive
+// ordered-map reference across power-of-two and non-power-of-two set counts
+// and associativities.
+TEST(Cache, DifferentialVsReferenceLru) {
+  struct Geometry {
+    std::int64_t capacity;
+    int line_bytes;
+    int ways;
+  };
+  const Geometry geoms[] = {
+      {1024, 128, 1},      // 8 sets, direct-mapped
+      {1024, 128, 2},      // 4 sets
+      {2048, 128, 4},      // 4 sets
+      {6144, 128, 4},      // 12 sets (non-power-of-two, like the V100 L2)
+      {768, 128, 6},       // 1 set, fully associative
+      {96, 32, 3},         // non-power-of-two line count per set
+      {4096, 64, 8},       // 8 sets x 8 ways, 64 B lines
+  };
+  std::mt19937_64 rng(0xF00Du);
+  for (const auto& g : geoms) {
+    SetAssocCache model(g.capacity, g.line_bytes, g.ways);
+    ReferenceLru ref(g.capacity, g.line_bytes, g.ways);
+    const std::uint64_t lines =
+        static_cast<std::uint64_t>(g.capacity / g.line_bytes);
+    std::uniform_int_distribution<std::uint64_t> wide(0, 4 * lines);
+    std::uniform_int_distribution<std::uint64_t> hot(0, lines / 2 + 1);
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 20000; ++i) {
+      std::uint64_t line;
+      switch (i % 4) {
+        case 0: line = wide(rng); break;
+        case 1: case 2: line = hot(rng); break;
+        default: line = seq++ % (2 * lines); break;
+      }
+      const std::uint64_t a =
+          line * static_cast<std::uint64_t>(g.line_bytes) +
+          (rng() % static_cast<std::uint64_t>(g.line_bytes));
+      ASSERT_EQ(model.access(a), ref.access(a))
+          << "geometry " << g.capacity << "/" << g.line_bytes << "/"
+          << g.ways << " diverged at access " << i;
+    }
+  }
+}
+
+// The old implementation marked empty ways with an all-ones tag sentinel; a
+// line whose index is actually ~0 (the very top of the address space) would
+// have produced a bogus cold hit. The rewrite tracks emptiness via the
+// last-use tick instead, so the first access to such a line must miss.
+TEST(Cache, AllOnesLineIsNotASentinel) {
+  SetAssocCache c(1024, 1, 4);  // 1-byte lines: line index == byte address
+  EXPECT_FALSE(c.access(~std::uint64_t{0}));  // cold: must miss
+  EXPECT_TRUE(c.access(~std::uint64_t{0}));
+  c.reset();
+  EXPECT_FALSE(c.access(~std::uint64_t{0}));  // reset: cold again
+}
 
 TEST(Cache, ColdMissThenHit) {
   SetAssocCache c(1024, 128, 2);

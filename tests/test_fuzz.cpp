@@ -111,6 +111,52 @@ TEST(Minimizer, ReproRoundTripsBitExactly) {
   EXPECT_EQ(graph::fingerprint(back), graph::fingerprint(g));
 }
 
+TEST(CaseGen, RingDegreeClampedAfterShrink) {
+  // Regression for a crash found by a 6000-iteration campaign (seed 2026,
+  // cases 4445 and 5297): mutate_case's grow/shrink arm rescales n but not
+  // m, and for rings m is the lattice degree k — a shrunk ring could reach
+  // build_graph with k >= n and trip regular_ring's `k < n` CHECK.
+  CaseSpec c;
+  c.shape = GraphShape::kRing;
+  c.n = 2;
+  c.m = 2;  // k == n: invalid for regular_ring, must be clamped to n-1
+  const graph::Csr g = build_graph(c);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 2);  // 1-regular ring on 2 vertices
+
+  c.n = 7;
+  c.m = 8;  // k > n (the second campaign failure)
+  const graph::Csr g2 = build_graph(c);
+  EXPECT_EQ(g2.num_vertices(), 7);
+  EXPECT_EQ(g2.num_edges(), 7 * 6);  // clamped to the densest valid ring
+
+  c.m = 0;  // degenerate low side: clamp up to k = 1
+  EXPECT_EQ(build_graph(c).num_edges(), 7);
+}
+
+TEST(CaseGen, ChainWithOneVertexClampedToMinimalPath) {
+  // Same campaign, case 1324: draw_shape_dims rolls chain n in [1, 200] but
+  // graph::path requires n >= 2. The clamp lives in build_graph so the fuzz
+  // stream itself stays bit-identical for a fixed seed.
+  CaseSpec c;
+  c.shape = GraphShape::kChain;
+  c.n = 1;
+  const graph::Csr g = build_graph(c);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Repro, CheckedInRingReproReplaysClean) {
+  // The minimal witness of the ring-shrink crash, checked in under repros/.
+  // The crash fired before a graph existed, so the ddmin minimizer never
+  // ran on it; this file is the clamped case's graph at the smallest legal
+  // ring (n=2, k=1) and pins the repro workflow end to end.
+  const FuzzReport rep =
+      run_repro(std::string(TLP_SOURCE_DIR) + "/repros/case_4445_ring_shrink.el",
+                {});
+  EXPECT_TRUE(rep.ok());
+}
+
 TEST(Repro, ReplayRunsAllModels) {
   using graph::Edge;
   const graph::Csr g = graph::build_csr(4, {Edge{0, 1}, Edge{2, 1}});

@@ -140,6 +140,22 @@ TEST(Scheduler, MoreWarpsPerBlockMeansFewerBlocks) {
   EXPECT_EQ(rec16.blocks, 63);
 }
 
+TEST(Scheduler, ResidentBlocksHonorsThreadSlotLimit) {
+  // Regression test: the thread-slot bound divides by warp_size *
+  // warps_per_block (threads per block), not by warps_per_block alone. A
+  // spec with 1024 thread slots and 8-warp blocks (256 threads each) fits
+  // exactly 4 blocks — the warp bound (64/8 = 8) and the hardware slot
+  // bound (32) must both lose to it.
+  GpuSpec spec = GpuSpec::v100();
+  spec.max_threads_per_sm = 1024;
+  EXPECT_EQ(resident_blocks_per_sm(spec, 8), 4);
+  // With the full 2048 thread slots the warp bound binds instead.
+  EXPECT_EQ(resident_blocks_per_sm(GpuSpec::v100(), 8), 8);
+  // Degenerate: blocks bigger than every limit still get one slot.
+  spec.max_threads_per_sm = 64;
+  EXPECT_EQ(resident_blocks_per_sm(spec, 32), 1);
+}
+
 TEST(Scheduler, DispatchOverheadGrowsWithBlockCount) {
   // Same tiny work split into 1-warp blocks vs 16-warp blocks: the 1-warp
   // variant dispatches 16x the blocks and pays for it.

@@ -17,6 +17,7 @@
 //                                         # committed file is byte-identical
 //
 // Exit codes: 0 ok, 1 shape-assertion failure / drift / IO error, 2 usage.
+#include <chrono>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -144,6 +145,16 @@ int run_mode(const Args& args) {
   } else {
     selected = bench::all_benches();
   }
+  if (selected.empty()) {
+    // Mirror the shape evaluator's zero-match-is-failure rule: an empty
+    // selection must fail loudly, not write an empty report that would pass
+    // every (vacuously absent) assertion.
+    std::fprintf(stderr,
+                 "error: --only \"%s\" matched no benchmarks; nothing to run "
+                 "(see --list)\n",
+                 args.get("only", "").c_str());
+    return 2;
+  }
 
   // Forward the global overrides to every bench as its own argv.
   std::vector<std::string> fwd{"bench"};
@@ -161,6 +172,13 @@ int run_mode(const Args& args) {
   merged.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   merged.git = git_head();
 
+  // Harness wall-clock per bench: simulator-throughput telemetry for the CI
+  // bench-smoke summary. Kept out of the deterministic `results` snapshot
+  // (and thus out of baseline.json and EXPERIMENTS.md) — it lands in a
+  // separate top-level "harness" object of the merged report only.
+  std::vector<std::pair<std::string, double>> wall_ms;
+  const auto suite_start = std::chrono::steady_clock::now();
+
   for (const bench::BenchDef* def : selected) {
     std::printf(">>> %s: %s\n", def->name, def->title);
     std::fflush(stdout);
@@ -168,16 +186,42 @@ int run_mode(const Args& args) {
     result.name = def->name;
     result.title = def->title;
     bench::Reporter rep(&result);
+    const auto bench_start = std::chrono::steady_clock::now();
     const int rc = def->fn(bench_args, rep);
+    wall_ms.emplace_back(
+        def->name,
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - bench_start)
+            .count());
     if (rc != 0) {
       std::fprintf(stderr, "error: bench %s exited with %d\n", def->name, rc);
       return 1;
     }
     merged.benches.push_back(std::move(result));
   }
+  const double total_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - suite_start)
+          .count();
+
+  const auto print_harness_timing = [&] {
+    std::printf("\n=== harness timing (wall clock) ===\n");
+    for (const auto& [name, ms] : wall_ms)
+      std::printf("  %-8s %9.1f ms\n", name.c_str(), ms);
+    std::printf("  total    %9.1f ms\n", total_wall_ms);
+  };
 
   const std::string out_path = args.get("out", default_out_name());
-  if (!write_file(out_path, merged.to_json().dump())) {
+  report::Json out_doc = merged.to_json();
+  {
+    report::Json per_bench = report::Json::object();
+    for (const auto& [name, ms] : wall_ms) per_bench.set(name, ms);
+    report::Json harness = report::Json::object();
+    harness.set("wall_ms", std::move(per_bench));
+    harness.set("total_wall_ms", total_wall_ms);
+    out_doc.set("harness", std::move(harness));
+  }
+  if (!write_file(out_path, out_doc.dump())) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
@@ -208,7 +252,10 @@ int run_mode(const Args& args) {
                 baseline_path.c_str(), merged.git.c_str());
   }
 
-  if (args.get_bool("no-assert", false)) return 0;
+  if (args.get_bool("no-assert", false)) {
+    print_harness_timing();
+    return 0;
+  }
 
   Baseline baseline;
   try {
@@ -233,6 +280,9 @@ int run_mode(const Args& args) {
     std::printf("(%zu assertions skipped: their benches were not selected)\n",
                 baseline.assertions.size() - applicable.size());
   }
+  // After the assertions so the CI job-summary capture (everything from
+  // "shape assertions" onward) includes the timings.
+  print_harness_timing();
   return failures == 0 ? 0 : 1;
 }
 
