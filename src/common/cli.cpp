@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <charconv>
 #include <cstdlib>
 
 #include "common/check.hpp"
@@ -49,6 +50,47 @@ double Args::get_double(const std::string& name, double def) const {
   const auto it = named_.find(name);
   if (it == named_.end()) return def;
   return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::int64_t Args::get_int_checked(const std::string& name, std::int64_t def,
+                                   std::int64_t lo, std::int64_t hi) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  const std::string& text = it->second;
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  TLP_CHECK_MSG(ec != std::errc::result_out_of_range,
+                "flag --" << name << ": value \"" << text
+                          << "\" overflows a 64-bit integer");
+  TLP_CHECK_MSG(ec == std::errc() && ptr == end,
+                "flag --" << name << ": cannot parse \"" << text
+                          << "\" as an integer");
+  TLP_CHECK_MSG(value >= lo && value <= hi,
+                "flag --" << name << ": value " << value
+                          << " out of range [" << lo << ", " << hi << "]");
+  return value;
+}
+
+double Args::get_double_checked(const std::string& name, double def,
+                                double lo, double hi) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return def;
+  const std::string& text = it->second;
+  // strtod with a full-consumption check: std::from_chars<double> is not
+  // implemented by every libstdc++ this repo builds against.
+  TLP_CHECK_MSG(!text.empty(), "flag --" << name << ": empty value");
+  char* parse_end = nullptr;
+  const double value = std::strtod(text.c_str(), &parse_end);
+  TLP_CHECK_MSG(parse_end == text.c_str() + text.size(),
+                "flag --" << name << ": cannot parse \"" << text
+                          << "\" as a number");
+  TLP_CHECK_MSG(value == value, "flag --" << name << ": NaN is not a value");
+  TLP_CHECK_MSG(value >= lo && value <= hi,
+                "flag --" << name << ": value " << value
+                          << " out of range [" << lo << ", " << hi << "]");
+  return value;
 }
 
 bool Args::get_bool(const std::string& name, bool def) const {

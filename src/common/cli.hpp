@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,6 +25,20 @@ class Args {
                                      std::int64_t def) const;
   [[nodiscard]] double get_double(const std::string& name, double def) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+  /// Strict variants for flags where a silent misparse is dangerous (fault
+  /// and serving knobs): the whole value must parse — "5x", "", "1e3" for an
+  /// int, or an overflowing literal all throw tlp::CheckError naming the
+  /// flag and the offending text — and the parsed value must land in
+  /// [lo, hi] (inclusive; the defaults disable the range check).
+  [[nodiscard]] std::int64_t get_int_checked(
+      const std::string& name, std::int64_t def,
+      std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t hi = std::numeric_limits<std::int64_t>::max()) const;
+  [[nodiscard]] double get_double_checked(
+      const std::string& name, double def,
+      double lo = -std::numeric_limits<double>::infinity(),
+      double hi = std::numeric_limits<double>::infinity()) const;
 
   /// Positional (non --flag) arguments, in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {

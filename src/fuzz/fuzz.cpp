@@ -62,6 +62,7 @@ std::vector<OracleFailure> run_oracles(const CaseContext& cx, std::uint64_t id,
   if (id % 5 == 0) add(check_determinism(cx));
   if (id % 5 == 1) add(check_assignments(cx));
   if (id % 6 == 0) add(check_faults(cx));
+  if (id % 7 == 0) add(check_serving(cx));
   return fails;
 }
 

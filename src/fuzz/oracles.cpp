@@ -12,6 +12,7 @@
 #include "fuzz/kernel_runners.hpp"
 #include "graph/reorder.hpp"
 #include "models/reference.hpp"
+#include "serve/server.hpp"
 #include "sim/device.hpp"
 #include "systems/partitioned.hpp"
 #include "systems/system.hpp"
@@ -427,10 +428,100 @@ std::vector<OracleFailure> check_faults(const CaseContext& cx) {
   return out;
 }
 
+std::vector<OracleFailure> check_serving(const CaseContext& cx) {
+  std::vector<OracleFailure> out;
+  if (cx.g.num_vertices() < 4) return out;  // too small to batch meaningfully
+
+  // Per-request subgraphs do not preserve global edge order, so the server
+  // rejects edge-weighted specs; strip the weights for this oracle.
+  models::ConvSpec spec = cx.conv;
+  spec.edge_weights.clear();
+
+  serve::TrafficOptions topts;
+  topts.num_requests = 10;
+  topts.mean_interarrival_ms = 0.5;
+  topts.hops = 1;
+  topts.max_ego_vertices = 64;
+  topts.seed = cx.spec.seed;
+  const std::vector<serve::Request> traffic =
+      serve::generate_traffic(cx.g, cx.h, topts);
+
+  serve::ServerOptions sopts;
+  sopts.queue_capacity = 16;
+  sopts.max_batch = 4;
+  sopts.batch_window_ms = 1.0;
+  serve::StormEvent storm;
+  storm.at_request = 3;
+  storm.plan.oom_every = 16;
+  storm.plan.oom_burst_len = 3;
+  sopts.storms = {storm};
+
+  const auto outcomes = [](const serve::ServeResult& r) {
+    std::string s;
+    for (const auto& resp : r.responses) s += serve::outcome_name(resp.outcome);
+    return s;
+  };
+
+  guarded("serving", "determinism", &out, [&] {
+    serve::Server a(sopts);
+    serve::Server b(sopts);
+    const serve::ServeResult ra = a.run(traffic, spec);
+    const serve::ServeResult rb = b.run(traffic, spec);
+    if (outcomes(ra) != outcomes(rb)) {
+      out.push_back({"serving", "determinism",
+                     "outcome sequence differs across identical replays: " +
+                         outcomes(ra) + " vs " + outcomes(rb)});
+    }
+    if (ra.report.to_json().dump() != rb.report.to_json().dump()) {
+      out.push_back({"serving", "determinism",
+                     "SLO report not byte-identical across replays"});
+    }
+    for (std::size_t i = 0; i < ra.responses.size(); ++i) {
+      if (ra.responses[i].output != rb.responses[i].output) {
+        out.push_back({"serving", "determinism",
+                       "served output differs across replays at req " +
+                           std::to_string(i)});
+        break;
+      }
+    }
+    if (ra.report.unaccounted != 0) {
+      out.push_back({"serving", "accounting",
+                     std::to_string(ra.report.unaccounted) +
+                         " requests unaccounted in the SLO report"});
+    }
+
+    // Graceful degradation contract: whatever the storm did, a served
+    // response is the bit-identical fault-free answer.
+    serve::ServerOptions clean_opts = sopts;
+    clean_opts.storms.clear();
+    serve::Server clean(clean_opts);
+    const serve::ServeResult rc = clean.run(traffic, spec);
+    if (rc.report.degraded != 0 || rc.report.failed != 0 ||
+        rc.report.retried != 0) {
+      out.push_back({"serving", "fault_free",
+                     "fault-free run reported retries/degradation/failures"});
+    }
+    for (std::size_t i = 0; i < ra.responses.size(); ++i) {
+      if (!ra.responses[i].served() || !rc.responses[i].served()) continue;
+      const auto& sa = ra.responses[i].output;
+      const auto& sc = rc.responses[i].output;
+      if (sa.size() != sc.size() ||
+          std::memcmp(sa.data(), sc.data(), sa.size() * sizeof(float)) != 0) {
+        out.push_back({"serving", "bit_identity",
+                       "storm-served output for req " + std::to_string(i) +
+                           " differs from the fault-free run"});
+        break;
+      }
+    }
+  });
+  return out;
+}
+
 const std::vector<std::string>& oracle_names() {
   static const std::vector<std::string> kNames = {
       "kernel_diff", "system_diff", "reorder",    "partition",
-      "determinism", "assignment",  "metrics",    "faults"};
+      "determinism", "assignment",  "metrics",    "faults",
+      "serving"};
   return kNames;
 }
 

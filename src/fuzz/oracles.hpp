@@ -60,6 +60,11 @@ std::vector<OracleFailure> check_assignments(const CaseContext& cx);
 /// launch failure surfaces as tlp::LaunchFailure; injected bit flips never
 /// crash the harness.
 std::vector<OracleFailure> check_faults(const CaseContext& cx);
+/// Serving determinism: the same (traffic seed, FaultPlan storm schedule)
+/// replays to a byte-identical outcome sequence and SLO report, with 100%
+/// outcome accounting, and every response served under the storm is bitwise
+/// equal to its fault-free counterpart.
+std::vector<OracleFailure> check_serving(const CaseContext& cx);
 
 /// Profiler-counter sanity for one run's aggregated metrics (occupancy and
 /// utilization within [0,1], rates within bounds, DRAM traffic not exceeding

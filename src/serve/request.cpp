@@ -1,0 +1,21 @@
+#include "serve/request.hpp"
+
+namespace tlp::serve {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kRetried:
+      return "retried";
+    case Outcome::kDegraded:
+      return "degraded";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace tlp::serve

@@ -1,0 +1,138 @@
+#include "serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tlp::serve {
+
+namespace {
+
+using graph::VertexId;
+
+/// Cumulative Zipf distribution over ranks 0..n-1: P(r) ∝ 1/(r+1)^alpha.
+std::vector<double> zipf_cdf(std::int64_t n, double alpha) {
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double total = 0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf[static_cast<std::size_t>(r)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+/// Seeded Fisher–Yates permutation of 0..n-1 — maps popularity rank to a
+/// vertex id, so the hot set is a random subset rather than the low ids
+/// (which generators tend to make hubs already).
+std::vector<VertexId> rank_to_vertex(VertexId n, Rng& rng) {
+  std::vector<VertexId> perm(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  for (VertexId i = n - 1; i > 0; --i) {
+    const auto j = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+graph::LocalGraph ego_subgraph(const graph::Csr& g, VertexId query, int hops,
+                               std::int64_t max_vertices) {
+  TLP_CHECK_MSG(query >= 0 && query < g.num_vertices(),
+                "ego query vertex " << query << " out of range (|V|="
+                                    << g.num_vertices() << ")");
+  TLP_CHECK_GE(hops, 0);
+  TLP_CHECK_GE(max_vertices, 1);
+
+  std::vector<bool> keep(static_cast<std::size_t>(g.num_vertices()), false);
+  keep[static_cast<std::size_t>(query)] = true;
+  std::int64_t kept = 1;
+  std::vector<VertexId> frontier{query};
+  for (int h = 0; h < hops && !frontier.empty() && kept < max_vertices; ++h) {
+    std::vector<VertexId> next;
+    for (const VertexId v : frontier) {
+      for (const VertexId u : g.neighbors(v)) {
+        if (kept >= max_vertices) break;
+        if (!keep[static_cast<std::size_t>(u)]) {
+          keep[static_cast<std::size_t>(u)] = true;
+          ++kept;
+          next.push_back(u);
+        }
+      }
+      if (kept >= max_vertices) break;
+    }
+    frontier = std::move(next);
+  }
+  return graph::induced_subgraph(g, keep);
+}
+
+std::vector<Request> generate_traffic(const graph::Csr& g,
+                                      const tensor::Tensor& feat,
+                                      const TrafficOptions& opts) {
+  TLP_CHECK_MSG(g.num_vertices() > 0, "traffic needs a non-empty graph");
+  TLP_CHECK_EQ(feat.rows(), g.num_vertices());
+  TLP_CHECK_GE(opts.num_requests, 0);
+  TLP_CHECK_GT(opts.mean_interarrival_ms, 0);
+  TLP_CHECK_GE(opts.zipf_alpha, 0);
+  TLP_CHECK_GT(opts.burst_len, 0);
+  TLP_CHECK_GT(opts.burst_speedup, 0);
+
+  Rng rng(opts.seed);
+  const std::vector<VertexId> perm = rank_to_vertex(g.num_vertices(), rng);
+  const std::vector<double> cdf =
+      opts.zipf_alpha > 0 ? zipf_cdf(g.num_vertices(), opts.zipf_alpha)
+                          : std::vector<double>{};
+
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(opts.num_requests));
+  double clock = 0;
+  for (std::int64_t i = 0; i < opts.num_requests; ++i) {
+    // Arrival.
+    if (opts.arrival == ArrivalProcess::kPoisson) {
+      clock += -std::log(1.0 - rng.next_double()) * opts.mean_interarrival_ms;
+    } else {
+      if (i > 0 && i % opts.burst_len == 0) clock += opts.gap_ms;
+      clock += -std::log(1.0 - rng.next_double()) *
+               (opts.mean_interarrival_ms / opts.burst_speedup);
+    }
+
+    // Popularity-weighted query vertex.
+    std::int64_t rank;
+    if (cdf.empty()) {
+      rank = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+    } else {
+      const double u = rng.next_double();
+      rank = std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+      rank = std::min<std::int64_t>(rank, g.num_vertices() - 1);
+    }
+    const VertexId query = perm[static_cast<std::size_t>(rank)];
+
+    Request req;
+    req.id = i;
+    req.arrival_ms = clock;
+    req.deadline_ms = opts.deadline_ms > 0 ? clock + opts.deadline_ms : 0;
+    req.query = query;
+    req.ego = ego_subgraph(g, query, opts.hops, opts.max_ego_vertices);
+
+    // Local id of the query: its position among the kept, id-ordered set.
+    const auto it = std::lower_bound(req.ego.to_global.begin(),
+                                     req.ego.to_global.end(), query);
+    TLP_CHECK(it != req.ego.to_global.end() && *it == query);
+    req.query_local = static_cast<VertexId>(it - req.ego.to_global.begin());
+
+    req.feat = tensor::Tensor(req.ego.csr.num_vertices(), feat.cols());
+    for (VertexId v = 0; v < req.ego.csr.num_vertices(); ++v) {
+      const auto src = feat.row(req.ego.to_global[static_cast<std::size_t>(v)]);
+      std::copy(src.begin(), src.end(), req.feat.row(v).begin());
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace tlp::serve

@@ -1,0 +1,61 @@
+// Seed-deterministic traffic synthesis for the serving runtime.
+//
+// Models the request stream of a production GNN deployment (ROADMAP item 3):
+// arrivals follow a Poisson process or an on/off bursty process, query
+// vertices follow a power-law (Zipf) popularity over a seeded permutation of
+// the vertex set (hot vertices are *random* vertices, not low ids), and each
+// request carries the k-hop ego subgraph + gathered features it needs. Every
+// draw comes from one seeded common/rng stream, so a (graph, options) pair
+// always produces a byte-identical request sequence — the property the
+// serving-determinism fuzz oracle and the fault-storm bit-identity checks
+// are built on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tlp::serve {
+
+enum class ArrivalProcess { kPoisson, kBursty };
+
+struct TrafficOptions {
+  std::int64_t num_requests = 256;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Mean inter-arrival gap of the Poisson process (and of the in-burst
+  /// phase of the bursty process, divided by burst_speedup).
+  double mean_interarrival_ms = 1.0;
+  /// Bursty process: `burst_len` requests arrive back-to-back at
+  /// mean/burst_speedup spacing, then the source idles for gap_ms.
+  std::int64_t burst_len = 32;
+  double burst_speedup = 8.0;
+  double gap_ms = 20.0;
+  /// Zipf popularity exponent over the permuted vertex set; 0 = uniform.
+  double zipf_alpha = 0.8;
+  /// Ego-subgraph radius in in-edge hops.
+  int hops = 2;
+  /// Cap on ego-subgraph vertices: BFS stops admitting new frontier vertices
+  /// beyond this (closer hops win; within a hop, row order wins). Bounds the
+  /// per-request device footprint on hub queries.
+  std::int64_t max_ego_vertices = 512;
+  /// Relative deadline applied to every request; <= 0 disables deadlines.
+  double deadline_ms = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Ego subgraph around one query vertex: the <= `hops`-step in-neighborhood
+/// (capped at `max_vertices`, closer vertices first), induced and relabeled
+/// in global id order. Exposed for tests and direct single-request use.
+graph::LocalGraph ego_subgraph(const graph::Csr& g, graph::VertexId query,
+                               int hops, std::int64_t max_vertices);
+
+/// Generates the full request sequence. `feat` is the global feature matrix
+/// (one row per vertex of `g`); each request gathers its ego rows from it.
+std::vector<Request> generate_traffic(const graph::Csr& g,
+                                      const tensor::Tensor& feat,
+                                      const TrafficOptions& opts);
+
+}  // namespace tlp::serve

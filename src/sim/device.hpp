@@ -76,6 +76,24 @@ class Device {
     return {src.begin(), src.end()};
   }
 
+  /// Re-arms the fault plan mid-run: allocation and launch fault counters
+  /// restart relative to *now* ("the Nth allocation/launch from here"), and
+  /// consumed one-shot faults reset. This is the deterministic trigger hook a
+  /// serving loop uses to start (or stop — arm a FaultPlan{}) a fault storm
+  /// at a chosen request.
+  void arm_faults(const FaultPlan& plan) {
+    opts_.faults = plan;
+    launch_base_ = launch_seq_;
+    launch_fault_fired_ = false;
+    sys_.mem.arm_fault_plan(plan);
+  }
+
+  /// Labels injected-fault errors with the work in flight (e.g. "req 17");
+  /// recorded in FaultProvenance::context. Empty clears the label.
+  void set_fault_context(std::string context) {
+    sys_.mem.set_fault_context(std::move(context));
+  }
+
   /// Runs a kernel and records a launch in the profile. Applies the fault
   /// plan's launch-scoped injections first: a forced LaunchFailure, or bit
   /// flips in device memory (which the kernel then consumes — the model for
@@ -83,13 +101,27 @@ class Device {
   KernelRecord& launch(WarpKernel& kernel, const LaunchConfig& cfg = {}) {
     ++launch_seq_;
     const FaultPlan& plan = opts_.faults;
-    if (plan.fail_launch > 0 && launch_seq_ == plan.fail_launch) {
-      throw LaunchFailure("injected launch fault: kernel '" + kernel.name() +
-                              "' (launch #" + std::to_string(launch_seq_) +
-                              ") failed by FaultPlan",
-                          kernel.name());
+    const std::int64_t seq = launch_seq_ - launch_base_;
+    const bool one_shot = !launch_fault_fired_ && plan.fail_launch > 0 &&
+                          seq == plan.fail_launch;
+    const bool burst =
+        FaultPlan::in_burst(seq, plan.launch_every, plan.launch_burst_len);
+    if (one_shot || burst) {
+      if (one_shot) launch_fault_fired_ = true;
+      FaultProvenance prov;
+      prov.source = FaultProvenance::Source::kInjectedLaunch;
+      prov.plan_field = one_shot ? "fail_launch" : "launch_every";
+      prov.plan_value = one_shot ? plan.fail_launch : plan.launch_every;
+      prov.seq = seq;
+      prov.context = sys_.mem.fault_context();
+      LaunchFailure failure("injected launch fault: kernel '" + kernel.name() +
+                                "' (launch #" + std::to_string(seq) +
+                                ") failed by FaultPlan" + prov.describe(),
+                            kernel.name());
+      failure.provenance = std::move(prov);
+      throw failure;
     }
-    if (plan.flip_at_launch > 0 && launch_seq_ == plan.flip_at_launch) {
+    if (plan.flip_at_launch > 0 && seq == plan.flip_at_launch) {
       inject_bit_flips();
     }
     KernelRecord& rec = profiler_.begin_kernel(kernel.name());
@@ -168,6 +200,10 @@ class Device {
   Profiler profiler_;
   Rng fault_rng_;
   std::int64_t launch_seq_ = 0;
+  /// Launch count at the last arm_faults(); plan counters are evaluated
+  /// against (launch_seq_ - launch_base_).
+  std::int64_t launch_base_ = 0;
+  bool launch_fault_fired_ = false;
 };
 
 }  // namespace tlp::sim

@@ -18,10 +18,60 @@
 
 namespace tlp {
 
+/// Where a device failure came from: a genuine resource limit, or a specific
+/// FaultPlan entry. Injected faults carry the plan field that fired, the
+/// device-side sequence number it fired at, and the caller-supplied context
+/// label (Device::set_fault_context — the serving loop tags the current
+/// request), so a log line or test failure is self-explaining without
+/// correlating device counters by hand.
+struct FaultProvenance {
+  enum class Source {
+    kNone,            ///< not fault-plan related (real capacity, real bug)
+    kCapacity,        ///< the GpuSpec memory limit, no injection involved
+    kInjectedOom,     ///< a FaultPlan allocation fault
+    kInjectedLaunch,  ///< a FaultPlan launch fault
+  };
+
+  Source source = Source::kNone;
+  /// FaultPlan field that fired ("oom_at_alloc", "oom_every", ...); empty
+  /// when source is not injected.
+  std::string plan_field;
+  /// Value of that plan field (the N of "fail the Nth" / the burst period).
+  std::int64_t plan_value = 0;
+  /// Device-side ordinal the fault fired at: the allocation sequence number
+  /// for OOM faults, the launch sequence number for launch faults. Relative
+  /// to the most recent arm_faults() re-arming.
+  std::int64_t seq = 0;
+  /// Caller-set label of the work in flight ("req 17 attempt 2"), empty when
+  /// the caller never tagged the device.
+  std::string context;
+
+  [[nodiscard]] bool injected() const {
+    return source == Source::kInjectedOom || source == Source::kInjectedLaunch;
+  }
+
+  /// " [injected by FaultPlan oom_every=50 at alloc #101; req 17]" — empty
+  /// string for non-injected sources, so it can be appended unconditionally.
+  [[nodiscard]] std::string describe() const {
+    if (!injected()) return "";
+    std::string out = " [injected by FaultPlan " + plan_field + "=" +
+                      std::to_string(plan_value) + " at " +
+                      (source == Source::kInjectedOom ? "alloc" : "launch") +
+                      " #" + std::to_string(seq);
+    if (!context.empty()) out += "; " + context;
+    out += "]";
+    return out;
+  }
+};
+
 /// Base class of all simulated-device failures.
 class DeviceError : public CheckError {
  public:
   explicit DeviceError(const std::string& what) : CheckError(what) {}
+
+  /// Fault-injection provenance; source == kNone unless the failure was
+  /// manufactured by a FaultPlan (or, for OutOfMemory, the capacity limit).
+  FaultProvenance provenance;
 };
 
 /// Allocation would exceed device capacity, or an injected allocation fault.

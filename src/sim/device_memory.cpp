@@ -36,22 +36,39 @@ std::uint64_t DeviceMemory::bump(std::uint64_t bytes) {
 
 std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
   ++alloc_seq_;
-  if (!oom_fault_fired_ && fault_plan_.oom_at_alloc > 0 &&
-      alloc_seq_ == fault_plan_.oom_at_alloc) {
-    oom_fault_fired_ = true;
+  const std::int64_t seq = alloc_seq_ - alloc_base_;
+  const bool one_shot = !oom_fault_fired_ && fault_plan_.oom_at_alloc > 0 &&
+                        seq == fault_plan_.oom_at_alloc;
+  const bool burst = FaultPlan::in_burst(seq, fault_plan_.oom_every,
+                                         fault_plan_.oom_burst_len);
+  if (one_shot || burst) {
+    if (one_shot) oom_fault_fired_ = true;
+    FaultProvenance prov;
+    prov.source = FaultProvenance::Source::kInjectedOom;
+    prov.plan_field = one_shot ? "oom_at_alloc" : "oom_every";
+    prov.plan_value =
+        one_shot ? fault_plan_.oom_at_alloc : fault_plan_.oom_every;
+    prov.seq = seq;
+    prov.context = fault_context_;
     std::ostringstream os;
-    os << "injected allocation fault: alloc #" << alloc_seq_ << " ("
-       << bytes << " B) failed by FaultPlan";
-    throw OutOfMemory(os.str(), static_cast<std::int64_t>(bytes), live_bytes_,
-                      0);
+    os << "injected allocation fault: alloc #" << seq << " (" << bytes
+       << " B) failed by FaultPlan" << prov.describe();
+    OutOfMemory oom(os.str(), static_cast<std::int64_t>(bytes), live_bytes_,
+                    0);
+    oom.provenance = std::move(prov);
+    throw oom;
   }
   if (capacity_bytes_ > 0 &&
       live_bytes_ + static_cast<std::int64_t>(bytes) > capacity_bytes_) {
     std::ostringstream os;
     os << "device out of memory: requested " << bytes << " B with "
        << live_bytes_ << " B live of " << capacity_bytes_ << " B capacity";
-    throw OutOfMemory(os.str(), static_cast<std::int64_t>(bytes), live_bytes_,
-                      capacity_bytes_);
+    OutOfMemory oom(os.str(), static_cast<std::int64_t>(bytes), live_bytes_,
+                    capacity_bytes_);
+    oom.provenance.source = FaultProvenance::Source::kCapacity;
+    oom.provenance.seq = seq;
+    oom.provenance.context = fault_context_;
+    throw oom;
   }
 
   const bool guarded = mode_ == MemoryMode::kGuarded;

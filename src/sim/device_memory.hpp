@@ -115,6 +115,25 @@ class DeviceMemory {
   /// launch faults live on Device). Plan counters survive reset() so a
   /// degradation retry does not re-trigger a one-shot fault.
   void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Re-arms the allocation faults mid-run: plan counters restart relative
+  /// to the current allocation sequence ("the Nth allocation *from now*"),
+  /// and a consumed one-shot fault is reset. The serving loop's storm hook.
+  void arm_fault_plan(const FaultPlan& plan) {
+    fault_plan_ = plan;
+    alloc_base_ = alloc_seq_;
+    oom_fault_fired_ = false;
+  }
+
+  /// Labels subsequent injected-fault errors with the work in flight (e.g.
+  /// "req 17 attempt 2"); empty clears. Carried in FaultProvenance::context.
+  void set_fault_context(std::string context) {
+    fault_context_ = std::move(context);
+  }
+  [[nodiscard]] const std::string& fault_context() const {
+    return fault_context_;
+  }
 
   /// Allocates `count` elements, 256-byte aligned (cudaMalloc alignment).
   /// Invalidates previously obtained views if the arena grows (detected on
@@ -273,7 +292,11 @@ class DeviceMemory {
 
   FaultPlan fault_plan_{};
   std::int64_t alloc_seq_ = 0;
+  /// Allocation count at the last arm_fault_plan(); plan counters are
+  /// evaluated against (alloc_seq_ - alloc_base_).
+  std::int64_t alloc_base_ = 0;
   bool oom_fault_fired_ = false;
+  std::string fault_context_;
 
   // Guarded-mode kernel context: current kernel name plus the write shadow
   // map (address -> last non-host writer) cleared per kernel.

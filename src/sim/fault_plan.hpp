@@ -6,6 +6,21 @@
 // exhausts memory. All injection points are counted deterministically and
 // the bit-flip site is drawn from a seeded common/rng stream, so a given
 // (plan, workload) pair always fails identically.
+//
+// Two fault shapes are supported:
+//  - one-shot: "fail the Nth allocation/launch" (oom_at_alloc, fail_launch),
+//    the original testing knobs — fire once and stay consumed.
+//  - recurring bursts: "every `period` allocations, fail `burst_len` in a
+//    row" (oom_every/oom_burst_len, launch_every/launch_burst_len) — the
+//    *fault storm* model the serving runtime is hardened against. A burst of
+//    length L makes L consecutive attempts fail (each failed attempt consumes
+//    one injection), so burst length directly dials how deep a retry ladder
+//    must go: short bursts are absorbed by retries, medium ones force the
+//    degraded fallback, long ones exhaust every policy and surface as Failed.
+//
+// Plans can also be re-armed mid-run (Device::arm_faults): counters restart
+// relative to the arming point, which is how a serving loop schedules a storm
+// at a chosen request deterministically.
 #pragma once
 
 #include <cstdint>
@@ -18,9 +33,19 @@ struct FaultPlan {
   /// a degradation path retry. <= 0 disables.
   std::int64_t oom_at_alloc = 0;
 
+  /// Recurring allocation-fault bursts: within every window of `oom_every`
+  /// allocations, the first `oom_burst_len` fail with tlp::OutOfMemory
+  /// (capacity 0 marks them as injected). <= 0 disables.
+  std::int64_t oom_every = 0;
+  std::int64_t oom_burst_len = 1;
+
   /// Fail the Nth kernel launch (1-based) with tlp::LaunchFailure before the
   /// kernel runs. One-shot. <= 0 disables.
   std::int64_t fail_launch = 0;
+
+  /// Recurring launch-fault bursts, same windowing as oom_every.
+  std::int64_t launch_every = 0;
+  std::int64_t launch_burst_len = 1;
 
   /// Immediately before the Nth kernel launch (1-based), flip `flip_bits`
   /// random bits inside a live allocation — an ECC-style corruption that a
@@ -35,7 +60,15 @@ struct FaultPlan {
   std::uint64_t seed = 0x5eedfa417ULL;
 
   [[nodiscard]] bool any() const {
-    return oom_at_alloc > 0 || fail_launch > 0 || flip_at_launch > 0;
+    return oom_at_alloc > 0 || oom_every > 0 || fail_launch > 0 ||
+           launch_every > 0 || flip_at_launch > 0;
+  }
+
+  /// True when `seq` (1-based, relative to the arming point) lands inside a
+  /// recurring burst window of (`period`, `burst_len`).
+  [[nodiscard]] static bool in_burst(std::int64_t seq, std::int64_t period,
+                                     std::int64_t burst_len) {
+    return period > 0 && seq > 0 && (seq - 1) % period < burst_len;
   }
 };
 

@@ -294,8 +294,16 @@ int main(int argc, char** argv) {
     usage(stdout);
     return 0;
   }
+  // The common flags plus every registered bench's extra flags (they pass
+  // through Args to the bench's run(), e.g. serve's --requests).
+  std::vector<std::string> known = kFlags;
+  for (const bench::BenchDef* def : bench::all_benches()) {
+    for (const std::string& f : bench::split_csv(def->extra_flags)) {
+      known.push_back(f);
+    }
+  }
   for (const std::string& key : args.named_keys()) {
-    if (std::find(kFlags.begin(), kFlags.end(), key) == kFlags.end()) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
       std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
       usage(stderr);
       return 2;

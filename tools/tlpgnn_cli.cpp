@@ -72,12 +72,17 @@ sim::DeviceOptions device_options(const Args& args) {
   sim::DeviceOptions opts;
   if (args.get_bool("memcheck", false))
     opts.mem_mode = sim::MemoryMode::kGuarded;
-  opts.faults.oom_at_alloc = args.get_int("oom-at", 0);
-  opts.faults.fail_launch = args.get_int("fail-launch", 0);
-  opts.faults.flip_at_launch = args.get_int("flip-at", 0);
-  opts.faults.flip_bits = static_cast<int>(args.get_int("flip-bits", 1));
-  opts.faults.flip_alloc = args.get_int("flip-alloc", -1);
-  opts.faults.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  // Strict parsing: a mistyped fault flag must die with a message naming the
+  // flag, not silently inject nothing (or fault allocation #0 forever).
+  constexpr std::int64_t kSeqMax = 1'000'000'000'000;
+  opts.faults.oom_at_alloc = args.get_int_checked("oom-at", 0, 0, kSeqMax);
+  opts.faults.fail_launch = args.get_int_checked("fail-launch", 0, 0, kSeqMax);
+  opts.faults.flip_at_launch = args.get_int_checked("flip-at", 0, 0, kSeqMax);
+  opts.faults.flip_bits =
+      static_cast<int>(args.get_int_checked("flip-bits", 1, 1, 1 << 20));
+  opts.faults.flip_alloc = args.get_int_checked("flip-alloc", -1, -1, kSeqMax);
+  opts.faults.seed =
+      static_cast<std::uint64_t>(args.get_int_checked("seed", 42, 0, kSeqMax));
   return opts;
 }
 
