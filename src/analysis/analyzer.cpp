@@ -4,6 +4,8 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "models/model.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
 #include "sim/device.hpp"
 #include "systems/system.hpp"
 #include "tensor/tensor.hpp"
@@ -27,6 +29,8 @@ std::vector<std::string> lint_system_names() {
   return {"tlpgnn", "dgl", "gnnadvisor", "featgraph", "push", "edge", "pull"};
 }
 
+sim::GpuSpec lint_gpu_spec() { return sim::GpuSpec::v100_scaled(16); }
+
 LintReport lint_systems(const std::vector<std::string>& systems,
                         const std::vector<LintDataset>& datasets,
                         const PassOptions& opt) {
@@ -46,8 +50,8 @@ LintReport lint_systems(const std::vector<std::string>& systems,
         Rng spec_rng(ds.seed + 1);
         const models::ConvSpec spec =
             models::ConvSpec::make(kind, ds.feature_size, spec_rng);
-        sim::Device dev;
-        sim::AccessTrace trace;
+        sim::Device dev(opt.gpu);
+        sim::AccessTrace trace(opt.trace_max_bytes);
         dev.attach_trace(&trace);
         (void)sys->run(dev, ds.graph, feat, spec);
         dev.attach_trace(nullptr);
@@ -66,6 +70,63 @@ LintReport lint_systems(const std::vector<std::string>& systems,
       }
     }
   }
+  sort_diagnostics(report.diagnostics);
+  return report;
+}
+
+LintReport lint_serve(const PassOptions& opt) {
+  // Small deterministic session: enough traffic to batch, one OOM storm so
+  // the retry + partitioned-fallback ladder executes under trace (otherwise
+  // the fallback gather path would ship unlinted), then calm again.
+  Rng graph_rng(303);
+  const graph::Csr g = graph::power_law(1024, 8192, 2.2, graph_rng);
+  Rng feat_rng(304);
+  const tensor::Tensor feat =
+      tensor::Tensor::random(g.num_vertices(), 32, feat_rng);
+  Rng spec_rng(305);
+  const models::ConvSpec spec =
+      models::ConvSpec::make(models::ModelKind::kGcn, 32, spec_rng);
+
+  serve::TrafficOptions topts;
+  topts.num_requests = 24;
+  topts.arrival = serve::ArrivalProcess::kPoisson;
+  topts.mean_interarrival_ms = 1.0;
+  topts.zipf_alpha = 0.8;
+  topts.hops = 1;
+  topts.max_ego_vertices = 96;
+  topts.seed = 11;
+  const std::vector<serve::Request> traffic =
+      serve::generate_traffic(g, feat, topts);
+
+  serve::ServerOptions sopts;
+  sopts.engine.gpu = opt.gpu;
+  {
+    serve::StormEvent storm;
+    storm.at_request = 8;
+    storm.plan.oom_every = 60;
+    storm.plan.oom_burst_len = 4;
+    sopts.storms.push_back(storm);
+    serve::StormEvent calm;
+    calm.at_request = 16;  // empty plan ends the storm
+    sopts.storms.push_back(calm);
+  }
+
+  serve::Server server(sopts);
+  sim::AccessTrace trace(opt.trace_max_bytes);
+  server.engine().device().attach_trace(&trace);
+  (void)server.run(traffic, spec);
+  server.engine().device().attach_trace(nullptr);
+
+  LintReport report;
+  std::vector<Diagnostic> diags = analyze_trace(trace, opt);
+  for (Diagnostic& d : diags) {
+    d.system = "serve";
+    d.dataset = "pl1k-storm";
+  }
+  report.diagnostics = std::move(diags);
+  report.trace_truncated = trace.truncated();
+  report.launches = static_cast<std::int64_t>(trace.kernels().size());
+  report.runs = 1;
   sort_diagnostics(report.diagnostics);
   return report;
 }

@@ -15,11 +15,18 @@
 namespace tlp::analysis {
 
 // Stable rule identifiers. New rules append; ids are never reused.
+// TLP-META-000 is the analyzer's self-diagnostic (trace truncated: coverage
+// incomplete), emitted by the driver rather than a pass.
+inline constexpr const char* kRuleMeta = "TLP-META-000";
 inline constexpr const char* kRuleRace = "TLP-RACE-001";
 inline constexpr const char* kRuleCoalesce = "TLP-COAL-002";
 inline constexpr const char* kRuleDivergence = "TLP-DIV-003";
 inline constexpr const char* kRuleAtomicContention = "TLP-ATOM-004";
 inline constexpr const char* kRuleRedundantLoad = "TLP-RED-005";
+inline constexpr const char* kRuleInit = "TLP-INIT-006";
+inline constexpr const char* kRuleLifetime = "TLP-LIFE-007";
+inline constexpr const char* kRuleBalance = "TLP-BAL-008";
+inline constexpr const char* kRuleReuse = "TLP-REUSE-009";
 
 enum class Severity { kNote, kWarning, kError };
 
@@ -60,6 +67,13 @@ void sort_diagnostics(std::vector<Diagnostic>& diags);
 /// marks reports built from a capped trace (coverage incomplete).
 std::string to_json(const std::vector<Diagnostic>& diags,
                     bool truncated = false);
+
+/// SARIF 2.1.0 document (the static-analysis interchange format CI
+/// annotation services ingest): one run, one rule entry per distinct rule
+/// id, one result per diagnostic. Severity maps kError→"error",
+/// kWarning→"warning", kNote→"note"; suppressed findings carry an inline
+/// `suppressions` entry (kind "inSource") with the site's justification.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
 
 /// Extracts the `key` fields from a JSON report produced by to_json (or a
 /// hand-maintained baseline holding only `key` fields). Tolerant scanner,

@@ -13,6 +13,15 @@ std::vector<std::unique_ptr<Pass>> default_passes() {
   passes.push_back(std::make_unique<DivergencePass>());
   passes.push_back(std::make_unique<AtomicContentionPass>());
   passes.push_back(std::make_unique<RedundantLoadPass>());
+  passes.push_back(std::make_unique<BalancePass>());
+  return passes;
+}
+
+std::vector<std::unique_ptr<WholeTracePass>> default_whole_trace_passes() {
+  std::vector<std::unique_ptr<WholeTracePass>> passes;
+  passes.push_back(std::make_unique<InitPass>());
+  passes.push_back(std::make_unique<LifetimePass>());
+  passes.push_back(std::make_unique<ReusePass>());
   return passes;
 }
 
@@ -38,6 +47,28 @@ std::vector<Diagnostic> analyze_trace(const sim::AccessTrace& trace,
   std::vector<Diagnostic> diags;
   for (const sim::KernelTrace& kt : trace.kernels()) {
     for (const auto& pass : passes) pass->run(kt, opt, diags);
+  }
+
+  if (trace.truncated()) {
+    // A capped trace has holes; every whole-trace claim (lifetime,
+    // initialization, reuse distance) would be built on missing accesses.
+    // Skip the family and say so, loudly enough for --strict to gate on.
+    Diagnostic d;
+    d.rule = kRuleMeta;
+    d.severity = Severity::kNote;
+    d.kernel = "<run>";
+    d.count = trace.dropped();
+    std::ostringstream os;
+    os << "trace truncated: " << trace.dropped()
+       << " accesses dropped by the byte budget after " << trace.recorded()
+       << " recorded — per-launch findings cover a prefix only and the "
+          "whole-trace passes (INIT/LIFE/REUSE) were skipped";
+    d.message = os.str();
+    diags.push_back(std::move(d));
+  } else {
+    for (const auto& pass : default_whole_trace_passes()) {
+      pass->run(trace, opt, diags);
+    }
   }
 
   for (Diagnostic& d : diags) {

@@ -84,4 +84,62 @@ class RedundantLoadPass final : public Pass {
            std::vector<Diagnostic>& out) const override;
 };
 
+/// TLP-BAL-008 — inter-warp load imbalance: one warp issues balance_ratio x
+/// the mean per-warp request count. The paper's central scheduling claim
+/// (§4.1) is that warp-per-vertex with FA+TM hides degree skew; this pass
+/// measures the skew that actually reached the memory system. The
+/// diagnostic's site is the dominant access site of the busiest warp, so a
+/// kernel that accepts the skew can suppress at the gather it happens in.
+class BalancePass final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "balance"; }
+  [[nodiscard]] std::string rule() const override { return kRuleBalance; }
+  void run(const sim::KernelTrace& kt, const PassOptions& opt,
+           std::vector<Diagnostic>& out) const override;
+};
+
+/// TLP-INIT-006 — read-before-first-write: a kernel loads bytes of a traced
+/// allocation that no host write (upload / fill via a mutable view) and no
+/// device store initialized first. Uses the MemEvent shadow state; accesses
+/// to addresses with no alloc event (buffers created before the trace was
+/// attached) are skipped — provenance unknown is not provenance bad.
+/// Atomics are read-modify-write: an atomic to an uninitialized word counts
+/// as an uninitialized read.
+class InitPass final : public WholeTracePass {
+ public:
+  [[nodiscard]] std::string name() const override { return "init"; }
+  [[nodiscard]] std::string rule() const override { return kRuleInit; }
+  void run(const sim::AccessTrace& trace, const PassOptions& opt,
+           std::vector<Diagnostic>& out) const override;
+};
+
+/// TLP-LIFE-007 — buffer-lifetime defects across the whole run: allocations
+/// no kernel ever touched (dead weight against the Table 3 memory metric),
+/// and write-only buffers — device-written but never device-read nor
+/// downloaded (a const host view) before dying — whose stores were wasted
+/// bandwidth. Reported per allocation site, aggregated over the run's
+/// reset epochs.
+class LifetimePass final : public WholeTracePass {
+ public:
+  [[nodiscard]] std::string name() const override { return "lifetime"; }
+  [[nodiscard]] std::string rule() const override { return kRuleLifetime; }
+  void run(const sim::AccessTrace& trace, const PassOptions& opt,
+           std::vector<Diagnostic>& out) const override;
+};
+
+/// TLP-REUSE-009 — reuse-distance thrashing: per-site LRU stack distance of
+/// 128 B line reuses, measured over the whole run and compared against
+/// PassOptions::gpu.l2_bytes. A site most of whose reuses are farther apart
+/// than the L2 can hold re-pays DRAM for data it already fetched — the
+/// §4.3/§6 locality claims, quantified. Distances are computed exactly
+/// (Fenwick tree over last-touch timestamps); DeviceMemory::reset() events
+/// clear the stack (a recycled byte offset is a different buffer).
+class ReusePass final : public WholeTracePass {
+ public:
+  [[nodiscard]] std::string name() const override { return "reuse"; }
+  [[nodiscard]] std::string rule() const override { return kRuleReuse; }
+  void run(const sim::AccessTrace& trace, const PassOptions& opt,
+           std::vector<Diagnostic>& out) const override;
+};
+
 }  // namespace tlp::analysis

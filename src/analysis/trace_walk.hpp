@@ -1,0 +1,58 @@
+// Chronological replay of a whole AccessTrace for the WholeTracePass
+// family: interleaves the allocation-lifecycle events (MemEvent) with the
+// per-launch access streams in the order they actually happened.
+//
+// MemEvents are stamped at record time with (launch, pos): the number of
+// kernels begun and the number of accesses the current kernel had recorded.
+// An event therefore precedes access i of kernel k iff it was stamped
+// before that access existed — launch < k+1, or launch == k+1 with
+// pos <= i. This reconstructs mid-kernel allocation (the software pool's
+// counter) and the host work between launches exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace tlp::analysis {
+
+/// Calls `on_event(const sim::MemEvent&)` and
+/// `on_access(const sim::KernelTrace&, int kernel_index,
+///            const sim::TraceAccess&)` in chronological order over the
+/// whole trace.
+template <class EventFn, class AccessFn>
+void walk_trace(const sim::AccessTrace& trace, EventFn&& on_event,
+                AccessFn&& on_access) {
+  const auto& events = trace.events();
+  const auto& kernels = trace.kernels();
+  std::size_t e = 0;
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const sim::KernelTrace& kt = kernels[k];
+    for (std::size_t i = 0; i < kt.accesses.size(); ++i) {
+      while (e < events.size() &&
+             (events[e].launch < static_cast<std::int32_t>(k) + 1 ||
+              (events[e].launch == static_cast<std::int32_t>(k) + 1 &&
+               events[e].pos <= static_cast<std::int64_t>(i)))) {
+        on_event(events[e]);
+        ++e;
+      }
+      on_access(kt, static_cast<int>(k), kt.accesses[i]);
+    }
+  }
+  while (e < events.size()) {
+    on_event(events[e]);
+    ++e;
+  }
+}
+
+/// Iterates the active lanes of one warp request:
+/// `fn(std::uint64_t addr, int bytes)`.
+template <class LaneFn>
+void for_each_lane(const sim::TraceAccess& a, LaneFn&& fn) {
+  for (int l = 0; l < sim::kTraceWarpSize; ++l) {
+    if (((a.mask >> l) & 1u) == 0) continue;
+    fn(a.addr[static_cast<std::size_t>(l)], static_cast<int>(a.bytes));
+  }
+}
+
+}  // namespace tlp::analysis

@@ -9,12 +9,34 @@ DeviceGraph upload_graph(sim::Device& dev, const graph::Csr& g,
   DeviceGraph dg;
   dg.n = g.num_vertices();
   dg.m = g.num_edges();
-  dg.indptr = dev.upload<std::int64_t>(g.indptr());
-  dg.indices = dev.upload<std::int32_t>(g.indices());
+  // Every pipeline uploads the whole CSR once per run, like the frameworks
+  // being modeled: a framework's graph object is resident whether or not a
+  // particular model consumes each component. tlpsan's lifetime pass
+  // (TLP-LIFE-007) therefore sees dead components on pipelines that read
+  // another representation — the COO mirror on edge-centric runs (indptr /
+  // indices unused), attention models (norm unused) — and those findings
+  // are expected, not fixable without breaking replica fidelity or the
+  // alloc-sequence determinism the fault-injection tests pin.
+  dg.indptr = dev.upload<std::int64_t>(
+      g.indptr(),
+      TLP_SITE_SUPPRESS("graph_indptr", "TLP-LIFE-007",
+                        "whole-CSR residency is replica-faithful: "
+                        "edge-centric pipelines read the COO mirror and "
+                        "never touch row offsets"));
+  dg.indices = dev.upload<std::int32_t>(
+      g.indices(),
+      TLP_SITE_SUPPRESS("graph_indices", "TLP-LIFE-007",
+                        "whole-CSR residency is replica-faithful: "
+                        "edge-centric pipelines read the COO mirror and "
+                        "never touch the adjacency lists"));
   const std::vector<float> norm =
       norm_override != nullptr ? *norm_override : models::gcn_norm(g);
   TLP_CHECK(norm.size() == static_cast<std::size_t>(dg.n));
-  dg.norm = dev.upload<float>(norm);
+  dg.norm = dev.upload<float>(
+      norm, TLP_SITE_SUPPRESS("graph_norm", "TLP-LIFE-007",
+                              "whole-CSR residency is replica-faithful: "
+                              "attention models compute their own edge "
+                              "weights and never read the GCN norm"));
   return dg;
 }
 
@@ -30,15 +52,15 @@ DeviceCoo upload_coo(sim::Device& dev, const graph::Csr& pull_csr) {
   }
   DeviceCoo coo;
   coo.m = pull_csr.num_edges();
-  coo.src = dev.upload<std::int32_t>(src);
-  coo.dst = dev.upload<std::int32_t>(dst);
+  coo.src = dev.upload<std::int32_t>(src, TLP_SITE("coo_src"));
+  coo.dst = dev.upload<std::int32_t>(dst, TLP_SITE("coo_dst"));
   return coo;
 }
 
 sim::DevPtr<float> upload_features(sim::Device& dev, const tensor::Tensor& h) {
   TLP_CHECK_MSG(h.cols() <= kMaxFeature,
                 "feature size " << h.cols() << " exceeds " << kMaxFeature);
-  return dev.upload<float>(h.flat());
+  return dev.upload<float>(h.flat(), TLP_SITE("feat_upload"));
 }
 
 tensor::Tensor download_features(sim::Device& dev, sim::DevPtr<float> p,

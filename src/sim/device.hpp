@@ -46,24 +46,33 @@ class Device {
   [[nodiscard]] DeviceMemory& mem() { return sys_.mem; }
 
   /// Attaches (or with nullptr detaches) a tlpsan access-trace recorder.
-  /// Recording covers every subsequent launch; the caller owns the trace and
-  /// must keep it alive while attached. Costs nothing when detached.
-  void attach_trace(AccessTrace* trace) { sys_.trace = trace; }
+  /// Recording covers every subsequent launch plus the allocation-lifecycle
+  /// events the arena emits; the caller owns the trace and must keep it
+  /// alive while attached. Costs nothing when detached.
+  void attach_trace(AccessTrace* trace) {
+    sys_.trace = trace;
+    sys_.mem.attach_trace(trace);
+  }
   [[nodiscard]] AccessTrace* trace() const { return sys_.trace; }
 
   /// Allocates and copies host data to the device (cudaMemcpy H2D analogue).
+  /// `site` (from TLP_SITE) labels the buffer in an attached trace.
   template <class T>
-  DevPtr<T> upload(std::span<const T> host) {
-    DevPtr<T> p = sys_.mem.alloc<T>(static_cast<std::int64_t>(host.size()));
+  DevPtr<T> upload(std::span<const T> host,
+                   const AccessSite* site = nullptr) {
+    DevPtr<T> p = sys_.mem.alloc<T>(static_cast<std::int64_t>(host.size()),
+                                    site);
     auto dst = sys_.mem.view(p);
     std::copy(host.begin(), host.end(), dst.begin());
     return p;
   }
 
-  /// Allocates zero-initialized device storage.
+  /// Allocates zero-initialized device storage. `site` labels the buffer in
+  /// an attached trace.
   template <class T>
-  DevPtr<T> alloc_zeroed(std::int64_t count) {
-    DevPtr<T> p = sys_.mem.alloc<T>(count);
+  DevPtr<T> alloc_zeroed(std::int64_t count,
+                         const AccessSite* site = nullptr) {
+    DevPtr<T> p = sys_.mem.alloc<T>(count, site);
     auto dst = sys_.mem.view(p);
     std::fill(dst.begin(), dst.end(), T{});
     return p;

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "sim/trace.hpp"
+
 namespace tlp::sim {
 
 namespace {
@@ -34,7 +36,8 @@ std::uint64_t DeviceMemory::bump(std::uint64_t bytes) {
   return offset;
 }
 
-std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
+std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes,
+                                           const AccessSite* site) {
   ++alloc_seq_;
   const std::int64_t seq = alloc_seq_ - alloc_base_;
   const bool one_shot = !oom_fault_fired_ && fault_plan_.oom_at_alloc > 0 &&
@@ -82,6 +85,10 @@ std::uint64_t DeviceMemory::allocate_bytes(std::uint64_t bytes) {
   allocs_.push_back({offset, bytes, true});
   live_bytes_ += static_cast<std::int64_t>(bytes);
   peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+  if (trace_ != nullptr) {
+    trace_->record_alloc(alloc_seq_, site != nullptr ? site->id : 0, offset,
+                         bytes);
+  }
   return offset;
 }
 
@@ -109,6 +116,17 @@ void DeviceMemory::release_bytes(std::uint64_t offset, std::uint64_t bytes) {
   }
   live_bytes_ -= static_cast<std::int64_t>(bytes);
   TLP_CHECK_GE(live_bytes_, 0);
+  if (trace_ != nullptr) trace_->record_free(-1, offset, bytes);
+}
+
+void DeviceMemory::note_host_write(std::uint64_t offset,
+                                   std::uint64_t bytes) const {
+  if (trace_ != nullptr && bytes > 0) trace_->record_host_write(offset, bytes);
+}
+
+void DeviceMemory::note_host_read(std::uint64_t offset,
+                                  std::uint64_t bytes) const {
+  if (trace_ != nullptr && bytes > 0) trace_->record_host_read(offset, bytes);
 }
 
 const DeviceMemory::AllocationRecord* DeviceMemory::find_allocation(
@@ -189,6 +207,7 @@ void DeviceMemory::flip_bit(std::uint64_t byte_addr, int bit) {
 }
 
 void DeviceMemory::reset() {
+  if (trace_ != nullptr) trace_->record_reset();
   top_ = 0;
   live_bytes_ = 0;
   peak_bytes_ = 0;

@@ -40,6 +40,8 @@
 namespace tlp::sim {
 
 class DeviceMemory;
+class AccessTrace;
+struct AccessSite;
 
 /// Typed handle into device memory. Trivially copyable; the arena outlives
 /// all handles it issued.
@@ -135,15 +137,22 @@ class DeviceMemory {
     return fault_context_;
   }
 
+  /// Registers an access trace to receive allocation-lifecycle events
+  /// (alloc/free/host view/reset) — the provenance feed for the whole-trace
+  /// analysis passes. nullptr detaches. Not owned.
+  void attach_trace(AccessTrace* trace) { trace_ = trace; }
+  [[nodiscard]] AccessTrace* trace() const { return trace_; }
+
   /// Allocates `count` elements, 256-byte aligned (cudaMalloc alignment).
   /// Invalidates previously obtained views if the arena grows (detected on
   /// stale-view use). Throws tlp::OutOfMemory when the capacity limit or an
-  /// injected allocation fault fires.
+  /// injected allocation fault fires. `site` (from TLP_SITE) labels the
+  /// buffer in the attached trace so lifetime diagnostics can name it.
   template <class T>
-  DevPtr<T> alloc(std::int64_t count) {
+  DevPtr<T> alloc(std::int64_t count, const AccessSite* site = nullptr) {
     TLP_CHECK_GE(count, 0);
-    const std::uint64_t offset =
-        allocate_bytes(static_cast<std::uint64_t>(count) * sizeof(T));
+    const std::uint64_t offset = allocate_bytes(
+        static_cast<std::uint64_t>(count) * sizeof(T), site);
     return DevPtr<T>{offset, count};
   }
 
@@ -158,14 +167,20 @@ class DeviceMemory {
   }
 
   /// Host view of an allocation. Invalidated by any alloc() that grows the
-  /// arena; stale use throws (see ArenaView).
+  /// arena; stale use throws (see ArenaView). A mutable view is the H2D /
+  /// fill path, so the attached trace records it as a host write (marking
+  /// the range initialized); a const view records as a host read (download).
   template <class T>
   [[nodiscard]] ArenaView<T> view(DevPtr<T> p) {
+    note_host_write(p.byte_offset,
+                    static_cast<std::uint64_t>(p.count) * sizeof(T));
     return {this, p.byte_offset, static_cast<std::size_t>(p.count),
             generation_};
   }
   template <class T>
   [[nodiscard]] ArenaView<const T> view(DevPtr<T> p) const {
+    note_host_read(p.byte_offset,
+                   static_cast<std::uint64_t>(p.count) * sizeof(T));
     return {this, p.byte_offset, static_cast<std::size_t>(p.count),
             generation_};
   }
@@ -262,9 +277,15 @@ class DeviceMemory {
   [[nodiscard]] std::byte* arena_ptr() { return arena_.data(); }
   [[nodiscard]] const std::byte* arena_ptr() const { return arena_.data(); }
 
-  std::uint64_t allocate_bytes(std::uint64_t bytes);
+  std::uint64_t allocate_bytes(std::uint64_t bytes, const AccessSite* site);
   void release_bytes(std::uint64_t offset, std::uint64_t bytes);
   std::uint64_t bump(std::uint64_t bytes);
+
+  // Trace hooks (out of line so the header need not see AccessTrace). The
+  // host-view hooks fire from const methods; the trace is an external
+  // observer, not part of this object's logical state.
+  void note_host_write(std::uint64_t offset, std::uint64_t bytes) const;
+  void note_host_read(std::uint64_t offset, std::uint64_t bytes) const;
 
   void bounds_check(std::uint64_t byte_addr, std::size_t bytes) const {
     if (byte_addr + bytes > arena_.size()) {
@@ -289,6 +310,8 @@ class DeviceMemory {
   MemoryMode mode_ = MemoryMode::kFast;
 
   std::vector<AllocationRecord> allocs_;
+
+  AccessTrace* trace_ = nullptr;
 
   FaultPlan fault_plan_{};
   std::int64_t alloc_seq_ = 0;

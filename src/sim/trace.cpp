@@ -55,6 +55,22 @@ const AccessSite& SiteRegistry::site(std::uint32_t id) const {
   return *sites_[id];
 }
 
+const char* mem_event_kind_name(MemEvent::Kind k) {
+  switch (k) {
+    case MemEvent::Kind::kAlloc:
+      return "alloc";
+    case MemEvent::Kind::kFree:
+      return "free";
+    case MemEvent::Kind::kHostWrite:
+      return "host_write";
+    case MemEvent::Kind::kHostRead:
+      return "host_read";
+    case MemEvent::Kind::kReset:
+      return "reset";
+  }
+  return "?";
+}
+
 const char* access_kind_name(AccessKind k) {
   switch (k) {
     case AccessKind::kLoad:
@@ -106,8 +122,60 @@ void AccessTrace::record(const TraceAccess& a) {
   ++recorded_;
 }
 
+MemEvent AccessTrace::stamped(MemEvent::Kind kind) const {
+  MemEvent ev;
+  ev.kind = kind;
+  ev.generation = generation_;
+  ev.launch = static_cast<std::int32_t>(kernels_.size());
+  ev.pos = kernels_.empty()
+               ? 0
+               : static_cast<std::int64_t>(kernels_.back().accesses.size());
+  return ev;
+}
+
+void AccessTrace::record_alloc(std::int64_t alloc_id, std::uint32_t site,
+                               std::uint64_t offset, std::uint64_t bytes) {
+  MemEvent ev = stamped(MemEvent::Kind::kAlloc);
+  ev.alloc_id = alloc_id;
+  ev.site = site;
+  ev.offset = offset;
+  ev.bytes = bytes;
+  events_.push_back(ev);
+}
+
+void AccessTrace::record_free(std::int64_t alloc_id, std::uint64_t offset,
+                              std::uint64_t bytes) {
+  MemEvent ev = stamped(MemEvent::Kind::kFree);
+  ev.alloc_id = alloc_id;
+  ev.offset = offset;
+  ev.bytes = bytes;
+  events_.push_back(ev);
+}
+
+void AccessTrace::record_host_write(std::uint64_t offset,
+                                    std::uint64_t bytes) {
+  MemEvent ev = stamped(MemEvent::Kind::kHostWrite);
+  ev.offset = offset;
+  ev.bytes = bytes;
+  events_.push_back(ev);
+}
+
+void AccessTrace::record_host_read(std::uint64_t offset, std::uint64_t bytes) {
+  MemEvent ev = stamped(MemEvent::Kind::kHostRead);
+  ev.offset = offset;
+  ev.bytes = bytes;
+  events_.push_back(ev);
+}
+
+void AccessTrace::record_reset() {
+  events_.push_back(stamped(MemEvent::Kind::kReset));
+  ++generation_;
+}
+
 void AccessTrace::clear() {
   kernels_.clear();
+  events_.clear();
+  generation_ = 0;
   recorded_ = 0;
   dropped_ = 0;
 }

@@ -118,6 +118,44 @@ struct KernelTrace {
   std::vector<TraceAccess> accesses;
 };
 
+/// Allocation-lifecycle event recorded by DeviceMemory while a trace is
+/// attached — the provenance layer that lets whole-trace passes reason about
+/// *buffers* (label, byte range, generation) instead of raw addresses.
+///
+/// Host-side data movement is part of a buffer's life: an upload or a
+/// memset-style fill acquires a mutable ArenaView (kHostWrite — the H2D /
+/// cudaMemset analogue, which also marks the range initialized), a download
+/// acquires a const view (kHostRead). kReset marks a DeviceMemory::reset():
+/// every live buffer dies and — because the arena is a bump allocator —
+/// subsequent allocations reuse byte offsets, so events carry the reset
+/// generation to keep reused addresses distinguishable.
+struct MemEvent {
+  enum class Kind : std::uint8_t {
+    kAlloc,
+    kFree,
+    kHostWrite,  ///< mutable host view: upload / fill (initializes the range)
+    kHostRead,   ///< const host view: download / host-side inspection
+    kReset,      ///< DeviceMemory::reset(): all live buffers die
+  };
+  Kind kind = Kind::kAlloc;
+  std::int64_t alloc_id = -1;  ///< allocation ordinal within the trace; -1
+                               ///< for host/reset events
+  std::uint32_t site = 0;      ///< AccessSite id labeling the allocation
+  std::uint64_t offset = 0;    ///< payload byte range start
+  std::uint64_t bytes = 0;     ///< payload size (0 for kReset)
+  std::uint64_t generation = 0;  ///< reset epoch the event belongs to
+
+  // Position in the interleaved access stream: the event happened after
+  // `launch` kernels had begun and after `pos` accesses of the most recent
+  // one had been recorded. A whole-trace walk over kernel k's access i
+  // applies every event with (launch < k + 1) || (launch == k + 1 &&
+  // pos <= i) first.
+  std::int32_t launch = 0;
+  std::int64_t pos = 0;
+};
+
+const char* mem_event_kind_name(MemEvent::Kind k);
+
 /// Per-launch access recorder. Attach to a Device (Device::attach_trace) to
 /// opt in; recording costs nothing when detached. A byte budget caps runaway
 /// traces: when exhausted, recording stops and `truncated()` reports how many
@@ -133,9 +171,23 @@ class AccessTrace {
   void begin_kernel(const std::string& name);
   void record(const TraceAccess& a);
 
+  /// Allocation-lifecycle hooks, called by DeviceMemory when attached.
+  /// Events are stamped with their position in the access stream (see
+  /// MemEvent) and are never dropped by the byte budget: there are orders of
+  /// magnitude fewer events than accesses, and lifetime analysis is useless
+  /// with holes in it.
+  void record_alloc(std::int64_t alloc_id, std::uint32_t site,
+                    std::uint64_t offset, std::uint64_t bytes);
+  void record_free(std::int64_t alloc_id, std::uint64_t offset,
+                   std::uint64_t bytes);
+  void record_host_write(std::uint64_t offset, std::uint64_t bytes);
+  void record_host_read(std::uint64_t offset, std::uint64_t bytes);
+  void record_reset();
+
   [[nodiscard]] const std::vector<KernelTrace>& kernels() const {
     return kernels_;
   }
+  [[nodiscard]] const std::vector<MemEvent>& events() const { return events_; }
   [[nodiscard]] bool truncated() const { return dropped_ > 0; }
   [[nodiscard]] std::int64_t dropped() const { return dropped_; }
   [[nodiscard]] std::int64_t recorded() const { return recorded_; }
@@ -143,7 +195,11 @@ class AccessTrace {
   void clear();
 
  private:
+  MemEvent stamped(MemEvent::Kind kind) const;
+
   std::vector<KernelTrace> kernels_;
+  std::vector<MemEvent> events_;
+  std::uint64_t generation_ = 0;
   std::size_t max_bytes_ = 0;
   std::int64_t recorded_ = 0;
   std::int64_t dropped_ = 0;

@@ -6,6 +6,7 @@
 #include "kernels/apply_vertex.hpp"
 #include "kernels/conv_common.hpp"
 #include "kernels/spmm.hpp"
+#include "sim/trace.hpp"
 
 namespace tlp::systems {
 
@@ -28,9 +29,17 @@ struct Ctx {
   sim::DevPtr<float> feat;
   std::int64_t f;
 
-  sim::DevPtr<float> rows() { return dev.alloc_zeroed<float>(dg.n * f); }
-  sim::DevPtr<float> vertex_scalars() { return dev.alloc_zeroed<float>(dg.n); }
-  sim::DevPtr<float> edge_scalars() { return dev.alloc_zeroed<float>(dg.m); }
+  sim::DevPtr<float> rows(const sim::AccessSite* site = nullptr) {
+    return dev.alloc_zeroed<float>(dg.n * f,
+                                   site != nullptr ? site
+                                                   : TLP_SITE("dgl_rows"));
+  }
+  sim::DevPtr<float> vertex_scalars() {
+    return dev.alloc_zeroed<float>(dg.n, TLP_SITE("dgl_vertex_scalars"));
+  }
+  sim::DevPtr<float> edge_scalars() {
+    return dev.alloc_zeroed<float>(dg.m, TLP_SITE("dgl_edge_scalars"));
+  }
 
   void copy(sim::DevPtr<float> in, sim::DevPtr<float> out) {
     kernels::CopyRowsKernel k(in, out, dg.n, f);
@@ -104,7 +113,14 @@ sim::DevPtr<float> run_gin(Ctx& c, float eps) {
   }
   sim::DevPtr<float> x1 = c.rows();
   c.copy(agg, x1);                          // (6) format
-  sim::DevPtr<float> scratch = c.rows();
+  // The zeroed workspace is dispatched and then abandoned — part of DGL's
+  // modeled 8-kernel GIN launch sequence (kernel_count pins it), so the
+  // write-only lifetime finding is the replica being faithful, not a leak.
+  sim::DevPtr<float> scratch = c.rows(TLP_SITE_SUPPRESS(
+      "dgl_gin_workspace", "TLP-LIFE-007",
+      "replica-faithful workspace: DGL's GIN pipeline zeroes a scratch "
+      "buffer it never reads back; the extra launch is the modeled "
+      "framework overhead and kernel_count() pins the sequence"));
   c.fill(scratch, c.dg.n, c.f, 0.0f);       // (7) workspace zeroing
   sim::DevPtr<float> out = c.rows();
   c.copy(x1, out);                          // (8) format
@@ -210,12 +226,14 @@ sim::DevPtr<float> run_gat(Ctx& c, const models::GatParams& gat,
   // The message path materializes E x F twice: copy_u gathers the source
   // features into per-edge messages, then the broadcast multiply scales them
   // by alpha — the intermediates behind Table 3's global-memory usage.
-  sim::DevPtr<float> msg0 = c.dev.alloc_zeroed<float>(c.dg.m * c.f);
+  sim::DevPtr<float> msg0 =
+      c.dev.alloc_zeroed<float>(c.dg.m * c.f, TLP_SITE("dgl_edge_messages"));
   {
     kernels::UMulEMaterializeKernel k(coo, /*w=*/{}, x0, msg0, c.f);
     c.dev.launch(k, kDglCfg);               // (12) copy_u: E x F messages
   }
-  sim::DevPtr<float> msg = c.dev.alloc_zeroed<float>(c.dg.m * c.f);
+  sim::DevPtr<float> msg =
+      c.dev.alloc_zeroed<float>(c.dg.m * c.f, TLP_SITE("dgl_edge_messages"));
   {
     kernels::ScaleRowsByVecKernel k(msg0, msg, alpha2, c.dg.m, c.f);
     c.dev.launch(k, kDglCfg);               // (13) e_mul broadcast: E x F
@@ -229,7 +247,13 @@ sim::DevPtr<float> run_gat(Ctx& c, const models::GatParams& gat,
   }
   sim::DevPtr<float> x1 = c.rows();
   c.copy(agg, x1);                          // (16) format
-  sim::DevPtr<float> scratch = c.rows();
+  // Same story as GIN's scratch: an 18th-kernel workspace zeroing whose
+  // output nothing consumes — modeled DGL dispatch overhead, not a leak.
+  sim::DevPtr<float> scratch = c.rows(TLP_SITE_SUPPRESS(
+      "dgl_gat_workspace", "TLP-LIFE-007",
+      "replica-faithful workspace: DGL's GAT pipeline zeroes a scratch "
+      "buffer it never reads back; the extra launch is the modeled "
+      "framework overhead and kernel_count() pins the sequence"));
   c.fill(scratch, c.dg.n, c.f, 0.0f);       // (17) workspace zeroing
   sim::DevPtr<float> out = c.rows();
   c.copy(x1, out);                          // (18) format

@@ -371,6 +371,300 @@ TEST(Analyzer, LintsTlpgnnCleanOfErrors) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Whole-trace passes (v2). These kernels allocate AFTER the trace attaches so
+// the allocation-lifecycle events carry provenance; the per-launch seeded
+// kernels above predate the trace on purpose (unknown provenance is skipped).
+// ---------------------------------------------------------------------------
+
+/// Reads a buffer that was allocated raw — no upload, no fill, no prior
+/// device store. Every load consumes garbage.
+class UninitReadKernel final : public WarpKernel {
+ public:
+  explicit UninitReadKernel(Device& dev)
+      : buf_(dev.mem().alloc<float>(64, TLP_SITE("uninit_buf"))) {}
+  [[nodiscard]] std::int64_t num_items() const override { return 4; }
+  [[nodiscard]] std::string name() const override { return "seeded_uninit"; }
+  void run_item(WarpCtx& warp, std::int64_t item) override {
+    warp.site(TLP_SITE("uninit_read"));
+    (void)warp.load_scalar_f32(buf_, item);
+  }
+
+ private:
+  DevPtr<float> buf_;
+};
+
+TEST(InitPass, FlagsReadBeforeFirstWrite) {
+  Device dev;
+  sim::AccessTrace trace;
+  dev.attach_trace(&trace);
+  UninitReadKernel k(dev);
+  dev.launch(k);
+  dev.attach_trace(nullptr);
+
+  const auto diags = analyze_trace(trace);
+  const Diagnostic* d = find_rule(diags, kRuleInit);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->kernel, "<run>");
+  EXPECT_EQ(d->site, "uninit_read");   // the reading site...
+  EXPECT_EQ(d->site2, "uninit_buf");   // ...and the buffer it read
+  EXPECT_EQ(d->count, 4);              // one garbage lane-read per item
+}
+
+TEST(InitPass, HostFillInitializesTheBuffer) {
+  // Same read pattern, but alloc_zeroed's host fill defines every byte
+  // before the kernel runs: no finding.
+  Device dev;
+  sim::AccessTrace trace;
+  dev.attach_trace(&trace);
+  ReadOnlyKernel k(dev);  // alloc_zeroed + loads
+  dev.launch(k);
+  dev.attach_trace(nullptr);
+  EXPECT_FALSE(has_rule(analyze_trace(trace), kRuleInit));
+}
+
+/// Stores into one buffer that is never loaded, downloaded, or freed — a
+/// leaked write-only output. A second uploaded buffer is never touched at
+/// all — dead weight.
+class LeakyWriterKernel final : public WarpKernel {
+ public:
+  explicit LeakyWriterKernel(Device& dev)
+      : out_(dev.alloc_zeroed<float>(256, TLP_SITE("leaked_out"))) {
+    const std::vector<float> weights(128, 1.0f);
+    (void)dev.upload<float>(weights, TLP_SITE("dead_upload"));
+  }
+  [[nodiscard]] std::int64_t num_items() const override { return 8; }
+  [[nodiscard]] std::string name() const override { return "seeded_leak"; }
+  void run_item(WarpCtx& warp, std::int64_t item) override {
+    warp.site(TLP_SITE("leak_store"));
+    warp.store_scalar_f32(out_, item, 1.0f);
+  }
+
+ private:
+  DevPtr<float> out_;
+};
+
+TEST(LifetimePass, FlagsLeakedWriteOnlyAndDeadBuffers) {
+  Device dev;
+  sim::AccessTrace trace;
+  dev.attach_trace(&trace);
+  LeakyWriterKernel k(dev);
+  dev.launch(k);
+  dev.attach_trace(nullptr);
+
+  const auto diags = analyze_trace(trace);
+  const Diagnostic* wo = nullptr;
+  const Diagnostic* dead = nullptr;
+  for (const Diagnostic& d : diags) {
+    if (d.rule != kRuleLifetime) continue;
+    if (d.site2 == "write-only") wo = &d;
+    if (d.site2 == "dead") dead = &d;
+  }
+  ASSERT_NE(wo, nullptr);
+  EXPECT_EQ(wo->severity, Severity::kWarning);
+  EXPECT_EQ(wo->site, "leaked_out");
+  EXPECT_EQ(wo->metric, 256 * 4.0);  // bytes of wasted stores
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->site, "dead_upload");
+  EXPECT_EQ(dead->metric, 128 * 4.0);
+}
+
+TEST(LifetimePass, DownloadedOutputIsNotWriteOnly) {
+  Device dev;
+  sim::AccessTrace trace;
+  dev.attach_trace(&trace);
+  DevPtr<float> out = dev.alloc_zeroed<float>(256, TLP_SITE("consumed_out"));
+  LeakyWriterKernel k(dev);
+  dev.launch(k);
+  (void)dev.download(out);  // a const view is a legitimate consumer...
+  dev.attach_trace(nullptr);
+  // ...so 'consumed_out' must not be classified; only the kernel's own
+  // leaked buffers may appear.
+  for (const Diagnostic& d : analyze_trace(trace)) {
+    if (d.rule == kRuleLifetime) {
+      EXPECT_NE(d.site, "consumed_out");
+    }
+  }
+}
+
+/// Warp-per-item degree skew: item 0 is the hub (1024 edge loads), everyone
+/// else is a leaf (1 load). Under the hardware assignment each item gets its
+/// own warp, so the hub's warp issues ~31x the mean.
+class SkewedWalkKernel final : public WarpKernel {
+ public:
+  explicit SkewedWalkKernel(Device& dev)
+      : buf_(dev.alloc_zeroed<float>(2048)) {}
+  [[nodiscard]] std::int64_t num_items() const override { return 32; }
+  [[nodiscard]] std::string name() const override { return "seeded_skew"; }
+  void run_item(WarpCtx& warp, std::int64_t item) override {
+    warp.site(TLP_SITE("skew_walk"));
+    const std::int64_t edges = item == 0 ? 1024 : 1;
+    for (std::int64_t e = 0; e < edges; ++e)
+      (void)warp.load_scalar_f32(buf_, (item + e) % 2048);
+  }
+
+ private:
+  DevPtr<float> buf_;
+};
+
+TEST(BalancePass, FlagsHubWarpRequestSkew) {
+  Device dev;
+  SkewedWalkKernel k(dev);
+  const auto diags = launch_and_analyze(dev, k);
+  const Diagnostic* d = find_rule(diags, kRuleBalance);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->kernel, "seeded_skew");
+  EXPECT_EQ(d->site, "skew_walk");     // the busiest warp's dominant site
+  EXPECT_GT(d->metric, 8.0);           // ratio over the per-warp mean
+  EXPECT_EQ(d->count, 1024);           // the hub warp's request count
+}
+
+TEST(BalancePass, UniformWorkIsSilent) {
+  // Same shape, no hub: every warp issues the same request count.
+  class UniformWalkKernel final : public WarpKernel {
+   public:
+    explicit UniformWalkKernel(Device& dev)
+        : buf_(dev.alloc_zeroed<float>(2048)) {}
+    [[nodiscard]] std::int64_t num_items() const override { return 32; }
+    [[nodiscard]] std::string name() const override { return "seeded_flat"; }
+    void run_item(WarpCtx& warp, std::int64_t item) override {
+      warp.site(TLP_SITE("flat_walk"));
+      for (std::int64_t e = 0; e < 32; ++e)
+        (void)warp.load_scalar_f32(buf_, (item * 32 + e) % 2048);
+    }
+
+   private:
+    DevPtr<float> buf_;
+  };
+  Device dev;
+  UniformWalkKernel k(dev);
+  EXPECT_FALSE(has_rule(launch_and_analyze(dev, k), kRuleBalance));
+}
+
+/// Streams one 128 B line per 32-float stride over the whole buffer, twice:
+/// every second-pass touch has an LRU stack distance equal to the full
+/// working set.
+class StreamingSweepKernel final : public WarpKernel {
+ public:
+  StreamingSweepKernel(Device& dev, std::int64_t floats)
+      : buf_(dev.alloc_zeroed<float>(floats)), n_(floats) {}
+  [[nodiscard]] std::int64_t num_items() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "seeded_stream"; }
+  void run_item(WarpCtx& warp, std::int64_t /*item*/) override {
+    warp.site(TLP_SITE("stream_gather"));
+    for (int pass = 0; pass < 2; ++pass)
+      for (std::int64_t i = 0; i < n_; i += 32)
+        (void)warp.load_scalar_f32(buf_, i);
+  }
+
+ private:
+  DevPtr<float> buf_;
+  std::int64_t n_;
+};
+
+TEST(ReusePass, FlagsWorkingSetLargerThanL2) {
+  Device dev;
+  sim::AccessTrace trace;
+  dev.attach_trace(&trace);
+  StreamingSweepKernel k(dev, /*floats=*/64 * 1024);  // 256 KB, 2048 lines
+  dev.launch(k);
+  dev.attach_trace(nullptr);
+
+  // Against a 16 KB L2 (128 lines) every one of the 2048 second-pass reuses
+  // is beyond capacity.
+  PassOptions small;
+  small.gpu.l2_bytes = 16 * 1024;
+  const auto diags = analyze_trace(trace, small);
+  const Diagnostic* d = find_rule(diags, kRuleReuse);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->site, "stream_gather");
+  EXPECT_EQ(d->count, 2048);
+
+  // The identical trace against the full V100 L2 (6 MB) fits: silent.
+  EXPECT_FALSE(has_rule(analyze_trace(trace), kRuleReuse));
+}
+
+TEST(Analyzer, TruncatedTraceSkipsWholeTracePassesAndEmitsMetaNote) {
+  Device dev;
+  sim::AccessTrace trace(/*max_bytes=*/sizeof(sim::TraceAccess) * 4);
+  dev.attach_trace(&trace);
+  LeakyWriterKernel k(dev);  // would flag LIFE-007 on a complete trace
+  dev.launch(k);
+  dev.attach_trace(nullptr);
+  ASSERT_TRUE(trace.truncated());
+
+  const auto diags = analyze_trace(trace);
+  const Diagnostic* meta = find_rule(diags, kRuleMeta);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->severity, Severity::kNote);
+  EXPECT_EQ(meta->kernel, "<run>");
+  // Lifetime claims over a trace with holes would be fabrications.
+  EXPECT_FALSE(has_rule(diags, kRuleInit));
+  EXPECT_FALSE(has_rule(diags, kRuleLifetime));
+  EXPECT_FALSE(has_rule(diags, kRuleReuse));
+}
+
+TEST(Analyzer, LintReportIsByteDeterministic) {
+  const auto run_once = [] {
+    Rng rng(7);
+    std::vector<LintDataset> datasets;
+    datasets.push_back({"mini", graph::power_law(256, 1024, 2.2, rng), 32, 5});
+    const LintReport r = lint_systems({"tlpgnn", "dgl"}, datasets);
+    return to_json(r.diagnostics, r.trace_truncated);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Sarif, EmitsSarif210Shape) {
+  Device dev;
+  StridedGatherKernel bad(dev, /*suppress=*/false);
+  auto diags = launch_and_analyze(dev, bad);
+  Device dev2;
+  StridedGatherKernel expected(dev2, /*suppress=*/true);
+  auto sup = launch_and_analyze(dev2, expected);
+  diags.insert(diags.end(), sup.begin(), sup.end());
+  for (Diagnostic& d : diags) {
+    d.system = "Seeded";
+    d.dataset = "unit";
+  }
+  ASSERT_GE(diags.size(), 2u);
+
+  const std::string sarif = to_sarif(diags);
+  const auto has = [&](const char* needle) {
+    return sarif.find(needle) != std::string::npos;
+  };
+  // Top-level 2.1.0 envelope.
+  EXPECT_TRUE(has("\"$schema\": \"https://json.schemastore.org/"
+                  "sarif-2.1.0.json\""));
+  EXPECT_TRUE(has("\"version\": \"2.1.0\""));
+  EXPECT_TRUE(has("\"runs\""));
+  // tool.driver with a populated rules table.
+  EXPECT_TRUE(has("\"driver\""));
+  EXPECT_TRUE(has("\"name\": \"tlplint\""));
+  EXPECT_TRUE(has("\"id\": \"TLP-COAL-002\""));
+  // Results: ruleId/level/message plus a physical location anchored to the
+  // source root.
+  EXPECT_TRUE(has("\"ruleId\": \"TLP-COAL-002\""));
+  EXPECT_TRUE(has("\"level\": \"warning\""));
+  EXPECT_TRUE(has("\"uriBaseId\": \"SRCROOT\""));
+  EXPECT_TRUE(has("\"startLine\""));
+  // The suppressed finding carries an inSource suppression with its
+  // justification; every result carries the stable fingerprint.
+  EXPECT_TRUE(has("\"suppressions\""));
+  EXPECT_TRUE(has("\"kind\": \"inSource\""));
+  EXPECT_TRUE(has("stride is the point"));
+  EXPECT_TRUE(has("\"partialFingerprints\""));
+  EXPECT_TRUE(has("\"tlpKey/v1\""));
+  // Structural sanity: braces and brackets balance.
+  EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '{'),
+            std::count(sarif.begin(), sarif.end(), '}'));
+  EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '['),
+            std::count(sarif.begin(), sarif.end(), ']'));
+}
+
 TEST(Analyzer, EdgeBaselineUncoalescedIsSuppressedNotDropped) {
   Rng rng(42);
   std::vector<LintDataset> datasets;

@@ -169,7 +169,8 @@ int run_mode(const Args& args) {
   const Args bench_args(static_cast<int>(argv.size()), argv.data());
 
   report::Report merged;
-  merged.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  merged.seed = static_cast<std::uint64_t>(
+      args.get_int_checked("seed", 42, 0));
   merged.git = git_head();
 
   // Harness wall-clock per bench: simulator-throughput telemetry for the CI

@@ -58,9 +58,11 @@ int main(int argc, char** argv) {
   }
 
   tlp::fuzz::FuzzOptions opts;
-  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  opts.iters = static_cast<std::uint64_t>(args.get_int("iters", 500));
-  opts.time_budget_s = args.get_double("time-budget", 0.0);
+  opts.seed = static_cast<std::uint64_t>(
+      args.get_int_checked("seed", 42, 0));
+  opts.iters = static_cast<std::uint64_t>(
+      args.get_int_checked("iters", 500, 0, 100'000'000));
+  opts.time_budget_s = args.get_double_checked("time-budget", 0.0, 0.0, 1e9);
   opts.repro_dir = args.get("repro-dir", "");
   opts.verbose = args.has("verbose");
 

@@ -55,9 +55,10 @@ graph::Csr load_graph(const Args& args) {
   }
   const auto& ds = graph::dataset_by_abbr(args.get("dataset", "PD"));
   return graph::make_dataset(
-      ds, {.max_edges = args.get_int("max-edges", 500'000),
+      ds, {.max_edges = args.get_int_checked("max-edges", 500'000, 1),
            .full = args.get_bool("full", false),
-           .seed = static_cast<std::uint64_t>(args.get_int("seed", 42))});
+           .seed = static_cast<std::uint64_t>(
+               args.get_int_checked("seed", 42, 0))});
 }
 
 models::ModelKind parse_model(const Args& args) {
@@ -89,17 +90,20 @@ sim::DeviceOptions device_options(const Args& args) {
 int cmd_run(const Args& args) {
   const graph::Csr g = load_graph(args);
   const models::ModelKind kind = parse_model(args);
-  const std::int64_t f = args.get_int("feature", 32);
-  const int heads = static_cast<int>(args.get_int("heads", 1));
+  const std::int64_t f = args.get_int_checked("feature", 32, 1, 1 << 16);
+  const int heads = static_cast<int>(args.get_int_checked("heads", 1, 1, 64));
   const std::string sysname = args.get("system", "tlpgnn");
-  const int repeat = static_cast<int>(args.get_int("repeat", 1));
+  const int repeat =
+      static_cast<int>(args.get_int_checked("repeat", 1, 1, 1'000'000));
 
-  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  Rng rng(static_cast<std::uint64_t>(args.get_int_checked("seed", 42, 0)));
   const tensor::Tensor feat = tensor::Tensor::random(g.num_vertices(), f, rng);
   const models::ConvSpec spec = models::ConvSpec::make(kind, f, rng, heads);
 
-  const int gpu_scale = static_cast<int>(args.get_int("gpu-scale", 1));
-  const double mem_gb = args.get_double("device-mem-gb", 0.0);
+  const int gpu_scale =
+      static_cast<int>(args.get_int_checked("gpu-scale", 1, 1, 1000));
+  const double mem_gb =
+      args.get_double_checked("device-mem-gb", 0.0, 0.0, 1e6);
   const std::int64_t mem_bytes =
       mem_gb > 0 ? static_cast<std::int64_t>(mem_gb * (1LL << 30)) : 0;
 
@@ -173,10 +177,12 @@ int cmd_gen(const Args& args) {
   if (args.has("dataset")) {
     g = load_graph(args);
   } else {
-    Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    Rng rng(static_cast<std::uint64_t>(args.get_int_checked("seed", 42, 0)));
     g = graph::power_law(
-        static_cast<graph::VertexId>(args.get_int("vertices", 10'000)),
-        args.get_int("edges", 100'000), args.get_double("alpha", 2.3), rng);
+        static_cast<graph::VertexId>(
+            args.get_int_checked("vertices", 10'000, 1, 1LL << 40)),
+        args.get_int_checked("edges", 100'000, 0, 1LL << 48),
+        args.get_double_checked("alpha", 2.3, 0.1, 64.0), rng);
   }
   const std::string format = args.get("format", "el");
   if (format == "bin") {

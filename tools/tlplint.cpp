@@ -2,20 +2,28 @@
 //
 // Runs every registered GNN system (or a --systems subset) on the stock
 // synthetic lint graphs with an access trace attached, feeds the traces
-// through the analysis passes, and reports the diagnostics:
+// through both analysis-pass families, and reports the diagnostics:
 //
 //   tlplint                          # human-readable report, exit 0/1
+//   tlplint --serve                  # also lint a served Server session
 //   tlplint --json report.json       # also write the machine-readable report
+//   tlplint --sarif report.sarif     # also write SARIF 2.1.0 (CI annotations)
 //   tlplint --baseline tools/tlplint_baseline.json
 //                                    # gate: exit 1 on any NEW unsuppressed
 //                                    # diagnostic not in the baseline
 //   tlplint --update-baseline tools/tlplint_baseline.json
 //                                    # refresh the checked-in baseline
+//   tlplint --fail-on warning        # non-baseline gate severity (default
+//                                    # error; note/warning/error)
+//   tlplint --strict                 # exit 1 if any trace was truncated
+//   tlplint --max-trace-mb 64        # per-run trace byte budget
 //
-// Without --baseline, the exit code is 1 when any unsuppressed error-severity
-// diagnostic exists (useful locally); with --baseline, only *new* findings
-// gate, so known paper-documented pathologies stay visible without breaking
-// CI. See README.md ("Linting the kernels") for the workflow.
+// Without --baseline, the exit code is 1 when any unsuppressed diagnostic at
+// or above the --fail-on severity exists (useful locally); with --baseline,
+// only *new* findings gate, so known paper-documented pathologies stay
+// visible without breaking CI. --strict makes a truncated trace (TLP-META-000
+// — incomplete coverage) failing in either mode. See README.md ("Linting the
+// kernels") for the workflow.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -62,6 +70,15 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+Severity parse_fail_on(const std::string& s) {
+  if (s == "note") return Severity::kNote;
+  if (s == "warning") return Severity::kWarning;
+  if (s == "error") return Severity::kError;
+  std::cerr << "tlplint: --fail-on must be note, warning, or error (got '"
+            << s << "')\n";
+  std::exit(2);
+}
+
 void print_report(const std::vector<Diagnostic>& diags) {
   tlp::TextTable table(
       {"severity", "rule", "system", "dataset", "kernel", "site", "count"});
@@ -91,11 +108,16 @@ int main(int argc, char** argv) {
   tlp::Args args(argc, argv);
   if (args.has("help")) {
     std::cout
-        << "usage: tlplint [--systems=a,b,..] [--json PATH]\n"
+        << "usage: tlplint [--systems=a,b,..] [--serve] [--json PATH]\n"
+        << "               [--sarif PATH] [--fail-on note|warning|error]\n"
+        << "               [--strict] [--max-trace-mb N]\n"
         << "               [--baseline PATH | --update-baseline PATH]\n"
         << "Runs tlpsan over every registered system on the synthetic lint\n"
-        << "graphs. Exits 1 on new-vs-baseline findings (with --baseline)\n"
-        << "or on any unsuppressed error (without).\n";
+        << "graphs (--serve adds a served Server session with a fault\n"
+        << "storm). Exits 1 on new-vs-baseline findings (with --baseline)\n"
+        << "or on any unsuppressed finding at or above --fail-on severity\n"
+        << "(without; default error). --strict also fails on a truncated\n"
+        << "trace.\n";
     return 0;
   }
 
@@ -106,12 +128,34 @@ int main(int argc, char** argv) {
   const std::vector<tlp::analysis::LintDataset> datasets =
       tlp::analysis::default_lint_datasets();
 
+  tlp::analysis::PassOptions opt;
+  opt.gpu = tlp::analysis::lint_gpu_spec();
+  opt.trace_max_bytes =
+      static_cast<std::size_t>(
+          args.get_int_checked("max-trace-mb", 1024, 1, 1 << 20))
+      << 20;
+  const Severity fail_on = parse_fail_on(args.get("fail-on", "error"));
+  const bool strict = args.get_bool("strict", false);
+
   std::cerr << "tlplint: analyzing " << systems.size() << " systems x "
-            << datasets.size() << " datasets...\n";
-  const tlp::analysis::LintReport report =
-      tlp::analysis::lint_systems(systems, datasets);
+            << datasets.size() << " datasets"
+            << (args.has("serve") ? " + served session" : "") << "...\n";
+  tlp::analysis::LintReport report =
+      tlp::analysis::lint_systems(systems, datasets, opt);
+  if (args.has("serve")) {
+    tlp::analysis::LintReport serve = tlp::analysis::lint_serve(opt);
+    report.diagnostics.insert(
+        report.diagnostics.end(),
+        std::make_move_iterator(serve.diagnostics.begin()),
+        std::make_move_iterator(serve.diagnostics.end()));
+    report.trace_truncated |= serve.trace_truncated;
+    report.runs += serve.runs;
+    report.launches += serve.launches;
+    tlp::analysis::sort_diagnostics(report.diagnostics);
+  }
 
   int errors = 0, warnings = 0, notes = 0;
+  int gating = 0;
   for (const Diagnostic& d : report.diagnostics) {
     if (d.suppressed || d.severity == Severity::kNote)
       ++notes;
@@ -119,6 +163,7 @@ int main(int argc, char** argv) {
       ++errors;
     else
       ++warnings;
+    if (!d.suppressed && d.severity >= fail_on) ++gating;
   }
 
   print_report(report.diagnostics);
@@ -131,11 +176,23 @@ int main(int argc, char** argv) {
   const std::string json =
       tlp::analysis::to_json(report.diagnostics, report.trace_truncated);
   if (args.has("json")) write_file(args.get("json", ""), json);
+  if (args.has("sarif"))
+    write_file(args.get("sarif", ""),
+               tlp::analysis::to_sarif(report.diagnostics));
   if (args.has("update-baseline")) {
     write_file(args.get("update-baseline", ""), json);
     std::cout << "tlplint: baseline updated ("
               << report.diagnostics.size() << " diagnostics)\n";
     return 0;
+  }
+
+  // A truncated trace means the analysis covered a prefix, not the run:
+  // under --strict that can never pass, baseline or not.
+  int strict_rc = 0;
+  if (strict && report.trace_truncated) {
+    std::cout << "tlplint: trace truncated under --strict — coverage "
+                 "incomplete (raise --max-trace-mb)\n";
+    strict_rc = 1;
   }
 
   if (args.has("baseline")) {
@@ -154,8 +211,14 @@ int main(int argc, char** argv) {
     }
     std::cout << "tlplint: no new diagnostics versus baseline ("
               << baseline_keys.size() << " baselined keys)\n";
-    return 0;
+    return strict_rc;
   }
 
-  return errors > 0 ? 1 : 0;
+  if (gating > 0) {
+    std::cout << "tlplint: " << gating
+              << " unsuppressed finding(s) at or above --fail-on "
+              << severity_name(fail_on) << "\n";
+    return 1;
+  }
+  return strict_rc;
 }
