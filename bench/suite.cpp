@@ -6,7 +6,7 @@ const std::vector<const BenchDef*>& all_benches() {
   static const std::vector<const BenchDef*> benches{
       &table1_bench, &table2_bench, &table3_bench, &table5_bench,
       &fig8_bench,   &fig9_bench,   &fig10_bench,  &fig11_bench,
-      &fig12_bench,  &tuning_bench, &serve_bench,
+      &fig12_bench,  &tuning_bench, &serve_bench,  &serve_cache_bench,
   };
   return benches;
 }

@@ -22,6 +22,7 @@ extern const BenchDef fig11_bench;    // thread-count scaling (Fig 11)
 extern const BenchDef fig12_bench;    // feature-size scaling (Fig 12)
 extern const BenchDef tuning_bench;   // extension tuning ablations
 extern const BenchDef serve_bench;    // serving SLO under fault storm
+extern const BenchDef serve_cache_bench;  // feature-cache sweep (DESIGN §12)
 
 /// All suite benches in EXPERIMENTS.md order.
 const std::vector<const BenchDef*>& all_benches();

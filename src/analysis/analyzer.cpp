@@ -4,6 +4,7 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "models/model.hpp"
+#include "serve/feature_cache.hpp"
 #include "serve/server.hpp"
 #include "serve/traffic.hpp"
 #include "sim/device.hpp"
@@ -111,20 +112,35 @@ LintReport lint_serve(const PassOptions& opt) {
     sopts.storms.push_back(calm);
   }
 
-  serve::Server server(sopts);
+  // The pre-sampling feature cache serves this session too, with its own
+  // trace: the cache device's arena offsets overlap the engine's, so the
+  // two traces must stay separate for the passes' interval bookkeeping. Its
+  // trace is attached at construction so the pinned region's allocation
+  // (TLP_SITE "serve_feature_cache") is tracked — a regression that stops
+  // gathering from the region shows up as a TLP-LIFE-007 dead buffer.
+  sim::AccessTrace cache_trace(opt.trace_max_bytes);
+  serve::FeatureCacheOptions copts;
+  copts.cache_ratio = 0.10;
+  serve::FeatureCache cache(g, feat, topts, copts, &cache_trace);
+
+  serve::Server server(sopts, &cache);
   sim::AccessTrace trace(opt.trace_max_bytes);
   server.engine().device().attach_trace(&trace);
   (void)server.run(traffic, spec);
   server.engine().device().attach_trace(nullptr);
+  cache.device().attach_trace(nullptr);
 
   LintReport report;
   std::vector<Diagnostic> diags = analyze_trace(trace, opt);
+  std::vector<Diagnostic> cache_diags = analyze_trace(cache_trace, opt);
+  diags.insert(diags.end(), std::make_move_iterator(cache_diags.begin()),
+               std::make_move_iterator(cache_diags.end()));
   for (Diagnostic& d : diags) {
     d.system = "serve";
     d.dataset = "pl1k-storm";
   }
   report.diagnostics = std::move(diags);
-  report.trace_truncated = trace.truncated();
+  report.trace_truncated = trace.truncated() || cache_trace.truncated();
   report.launches = static_cast<std::int64_t>(trace.kernels().size());
   report.runs = 1;
   sort_diagnostics(report.diagnostics);

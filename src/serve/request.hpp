@@ -33,7 +33,7 @@ const char* outcome_name(Outcome o);
 
 /// One inference request, fully materialized by the traffic generator.
 struct Request {
-  std::int64_t id = 0;
+  std::int64_t id = 0;     ///< dense 0..n-1, arrival order (trace-span id)
   double arrival_ms = 0;   ///< simulated arrival time
   double deadline_ms = 0;  ///< absolute simulated deadline; <= 0 = none
   graph::VertexId query = 0;        ///< global id of the query vertex
@@ -42,7 +42,10 @@ struct Request {
   /// order is the global id order of the kept set, so a given (graph, query,
   /// hops, cap) always produces the identical subgraph.
   graph::LocalGraph ego;
-  tensor::Tensor feat;  ///< gathered feature rows, ego-local order
+  /// Gathered feature rows, ego-local order. With a FeatureCache attached
+  /// the server re-gathers these bytes through the cache at serve time (the
+  /// accounted path); this copy is the free pre-gathered legacy payload.
+  tensor::Tensor feat;
 };
 
 /// What happened to one request. `output` is the served embedding of the
@@ -53,8 +56,8 @@ struct Response {
   double arrival_ms = 0;  ///< copied from the request (for SLO accounting)
   double latency_ms = 0;  ///< completion - arrival; 0 for Rejected
   double queue_ms = 0;    ///< arrival -> execution start; 0 for Rejected
-  int direct_attempts = 0;
-  int fallback_attempts = 0;
+  int direct_attempts = 0;    ///< batched + per-request direct executions
+  int fallback_attempts = 0;  ///< partitioned-ladder executions
   int partitions = 0;  ///< parts a Degraded success ran over
   bool deadline_missed = false;
   std::string error;  ///< last failure (Failed) or rejection reason

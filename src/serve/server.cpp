@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "serve/feature_cache.hpp"
 #include "systems/partitioned.hpp"
 
 namespace tlp::serve {
@@ -26,14 +27,15 @@ struct MergedBatch {
   std::vector<VertexId> base;  ///< first merged vertex id of each member
 };
 
-MergedBatch merge_batch(const std::vector<const Request*>& reqs) {
+MergedBatch merge_batch(const std::vector<const Request*>& reqs,
+                        const std::vector<const tensor::Tensor*>& feats) {
   std::int64_t vertices = 0;
   std::int64_t edges = 0;
-  const std::int64_t cols = reqs.front()->feat.cols();
-  for (const Request* r : reqs) {
-    TLP_CHECK_EQ(r->feat.cols(), cols);
-    vertices += r->ego.csr.num_vertices();
-    edges += r->ego.csr.num_edges();
+  const std::int64_t cols = feats.front()->cols();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    TLP_CHECK_EQ(feats[i]->cols(), cols);
+    vertices += reqs[i]->ego.csr.num_vertices();
+    edges += reqs[i]->ego.csr.num_edges();
   }
 
   MergedBatch m;
@@ -46,15 +48,15 @@ MergedBatch merge_batch(const std::vector<const Request*>& reqs) {
   indices.reserve(static_cast<std::size_t>(edges));
 
   VertexId base = 0;
-  for (const Request* r : reqs) {
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
     m.base.push_back(base);
-    const graph::Csr& g = r->ego.csr;
+    const graph::Csr& g = reqs[i]->ego.csr;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
       for (const VertexId u : g.neighbors(v)) {
         indices.push_back(u + base);
       }
       indptr.push_back(static_cast<EdgeOffset>(indices.size()));
-      const auto src = r->feat.row(v);
+      const auto src = feats[i]->row(v);
       auto dst = m.feat.row(base + v);
       std::copy(src.begin(), src.end(), dst.begin());
     }
@@ -75,14 +77,15 @@ void fill_served(Response& out, const Request& req, Outcome outcome,
 
 }  // namespace
 
-Server::Server(const ServerOptions& opts)
+Server::Server(const ServerOptions& opts, FeatureCache* cache)
     : opts_(opts),
       engine_([&opts] {
         EngineOptions eo = opts.engine;
         eo.degrade.enabled = false;  // the server owns the ladder
         return eo;
       }()),
-      fallback_system_(opts.engine.tlpgnn) {
+      fallback_system_(opts.engine.tlpgnn),
+      cache_(cache) {
   TLP_CHECK_GT(opts_.queue_capacity, 0);
   TLP_CHECK_GT(opts_.max_batch, 0);
   TLP_CHECK_GE(opts_.queue_capacity, opts_.max_batch);
@@ -153,9 +156,12 @@ ServeResult Server::run(const std::vector<Request>& traffic,
   };
 
   // Serves one request through the retry/degrade ladder after the batched
-  // direct attempt failed (or was skipped by an open breaker).
-  const auto serve_one = [&](const Request& req, Response& out,
-                             double t_start) {
+  // direct attempt failed (or was skipped by an open breaker). `feat` is the
+  // request's staged feature block — the cache-gathered copy when a cache is
+  // attached (staged once per batch; retries reuse it), Request::feat
+  // otherwise.
+  const auto serve_one = [&](const Request& req, const tensor::Tensor& feat,
+                             Response& out, double t_start) {
     const graph::Csr& g = req.ego.csr;
 
     // Direct retries with exponential backoff + jitter, breaker-gated.
@@ -168,7 +174,7 @@ ServeResult Server::run(const std::vector<Request>& traffic,
                             " direct attempt " +
                             std::to_string(out.direct_attempts + 1));
       try {
-        const systems::RunResult r = engine_.conv(g, req.feat, spec);
+        const systems::RunResult r = engine_.conv(g, feat, spec);
         clock += r.runtime_ms;
         breaker.record_success();
         ++out.direct_attempts;
@@ -196,7 +202,7 @@ ServeResult Server::run(const std::vector<Request>& traffic,
                               " (k=" + std::to_string(k) + ")");
         try {
           const systems::RunResult r = systems::run_partitioned(
-              fallback_system_, dev, g, req.feat, spec, k);
+              fallback_system_, dev, g, feat, spec, k);
           clock += r.runtime_ms;
           out.partitions = k;
           fill_served(out, req, Outcome::kDegraded,
@@ -269,6 +275,28 @@ ServeResult Server::run(const std::vector<Request>& traffic,
     }
     if (live.empty()) continue;
 
+    // Stage the batch's feature blocks. With a cache attached every live
+    // request re-gathers through it exactly once (hits from the pinned
+    // region, misses from the global matrix — same bytes as Request::feat),
+    // and the simulated gather charge joins the clock before execution.
+    // Without a cache the pre-gathered Request::feat is used for free — the
+    // legacy path, byte-for-byte.
+    std::vector<tensor::Tensor> staged;
+    std::vector<const tensor::Tensor*> feats(live.size());
+    if (cache_ != nullptr) {
+      staged.resize(live.size());
+      double gather_ms = 0;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        gather_ms += cache_->gather(live[i]->ego.to_global, staged[i]);
+        feats[i] = &staged[i];
+      }
+      clock += gather_ms;
+    } else {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        feats[i] = &live[i]->feat;
+      }
+    }
+
     // Arm any storm scheduled at or before this batch's first request. Batch
     // front ids are monotonic, so each event fires exactly once.
     while (next_storm < opts_.storms.size() &&
@@ -283,7 +311,7 @@ ServeResult Server::run(const std::vector<Request>& traffic,
       dev.set_fault_context("batch @ req " + std::to_string(live.front()->id) +
                             " (" + std::to_string(live.size()) + " reqs)");
       try {
-        const MergedBatch mb = merge_batch(live);
+        const MergedBatch mb = merge_batch(live, feats);
         const systems::RunResult r = engine_.conv(mb.csr, mb.feat, spec);
         clock += r.runtime_ms;
         breaker.record_success();
@@ -308,9 +336,9 @@ ServeResult Server::run(const std::vector<Request>& traffic,
     }
 
     if (!batch_served) {
-      for (const Request* req : live) {
-        serve_one(*req,
-                  result.responses[static_cast<std::size_t>(req->id)],
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        serve_one(*live[i], *feats[i],
+                  result.responses[static_cast<std::size_t>(live[i]->id)],
                   t_start);
       }
     }
@@ -321,6 +349,15 @@ ServeResult Server::run(const std::vector<Request>& traffic,
   dev.set_fault_context("");
   result.report = summarize(result.responses);
   result.report.breaker_opens = breaker.opens();
+  if (cache_ != nullptr) {
+    const CacheStats& cs = cache_->stats();
+    result.report.cache_policy = cache_policy_name(cache_->options().policy);
+    result.report.cache_pinned_rows = cs.pinned_rows;
+    result.report.cache_hit_rows = cs.hit_rows;
+    result.report.cache_miss_rows = cs.miss_rows;
+    result.report.cache_hit_ratio = cs.hit_ratio();
+    result.report.cache_gather_ms = cs.gather_ms;
+  }
   return result;
 }
 
@@ -414,6 +451,12 @@ report::Json SloReport::to_json() const {
   j.set("direct_attempts", direct_attempts);
   j.set("fallback_attempts", fallback_attempts);
   j.set("breaker_opens", breaker_opens);
+  j.set("cache_policy", cache_policy);
+  j.set("cache_pinned_rows", cache_pinned_rows);
+  j.set("cache_hit_rows", cache_hit_rows);
+  j.set("cache_miss_rows", cache_miss_rows);
+  j.set("cache_hit_ratio", cache_hit_ratio);
+  j.set("cache_gather_ms", cache_gather_ms);
   j.set("output_digest", std::to_string(output_digest));
   return j;
 }

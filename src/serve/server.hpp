@@ -35,6 +35,8 @@
 
 namespace tlp::serve {
 
+class FeatureCache;
+
 /// Re-arms the device fault plan just before the batch whose first request id
 /// is >= `at_request` executes. An empty FaultPlan ends the storm.
 struct StormEvent {
@@ -91,6 +93,17 @@ struct SloReport {
   std::int64_t fallback_attempts = 0;
   std::int64_t breaker_opens = 0;
 
+  // --- feature cache (DESIGN.md §12) ---------------------------------------
+  // All zeros with policy "off" when the server has no FeatureCache
+  // attached; otherwise Server::run folds the cache's CacheStats in after
+  // summarize() (which only sees responses).
+  std::string cache_policy = "off";
+  std::int64_t cache_pinned_rows = 0;
+  std::int64_t cache_hit_rows = 0;   ///< gather rows served from the region
+  std::int64_t cache_miss_rows = 0;  ///< gather rows from the global matrix
+  double cache_hit_ratio = 0;        ///< hit / (hit + miss); 0 when empty
+  double cache_gather_ms = 0;        ///< simulated total gather charge
+
   /// FNV-1a over (id, served output bytes) in id order — one number that
   /// changes iff any served embedding changes bitwise.
   std::uint64_t output_digest = 0;
@@ -105,7 +118,15 @@ struct ServeResult {
 
 class Server {
  public:
-  explicit Server(const ServerOptions& opts);
+  /// `cache` (optional, not owned, must outlive the server) activates the
+  /// pre-sampling feature cache: every executed request's rows are
+  /// re-gathered through it — hits from the pinned region, misses from the
+  /// global matrix — and the simulated gather charge joins the clock. The
+  /// gathered bytes are identical to Request::feat, so served rows stay
+  /// bit-identical to a cacheless server; only latencies and the cache
+  /// accounting in SloReport change. No cache = the legacy free-gather
+  /// behavior, byte-for-byte.
+  explicit Server(const ServerOptions& opts, FeatureCache* cache = nullptr);
 
   /// Serves the full traffic sequence (must be arrival-ordered, ids 0..n-1 as
   /// generate_traffic produces) and returns per-request responses + the SLO
@@ -115,6 +136,7 @@ class Server {
                   const models::ConvSpec& spec);
 
   [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] FeatureCache* cache() { return cache_; }
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
 
  private:
@@ -122,6 +144,7 @@ class Server {
   Engine engine_;
   /// Fallback path system — run_partitioned needs direct system access.
   systems::TlpgnnSystem fallback_system_;
+  FeatureCache* cache_ = nullptr;  ///< optional, not owned
 };
 
 /// Builds the SLO aggregate from a finished response set. Exposed for tests.

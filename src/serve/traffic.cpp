@@ -40,6 +40,38 @@ std::vector<VertexId> rank_to_vertex(VertexId n, Rng& rng) {
 
 }  // namespace
 
+QueryStream::QueryStream(VertexId num_vertices, double zipf_alpha, Rng& rng) {
+  TLP_CHECK_GT(num_vertices, 0);
+  TLP_CHECK_GE(zipf_alpha, 0);
+  rank_to_vertex_ = rank_to_vertex(num_vertices, rng);
+  if (zipf_alpha > 0) cdf_ = zipf_cdf(num_vertices, zipf_alpha);
+}
+
+VertexId QueryStream::draw(Rng& rng) const {
+  const auto n = static_cast<std::int64_t>(rank_to_vertex_.size());
+  std::int64_t rank;
+  if (cdf_.empty()) {
+    rank = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+  } else {
+    const double u = rng.next_double();
+    rank = std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin();
+    rank = std::min<std::int64_t>(rank, n - 1);
+  }
+  return rank_to_vertex_[static_cast<std::size_t>(rank)];
+}
+
+tensor::Tensor gather_rows(const tensor::Tensor& feat,
+                           const std::vector<VertexId>& ids) {
+  tensor::Tensor out(static_cast<VertexId>(ids.size()), feat.cols());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto src = feat.row(ids[i]);
+    std::copy(src.begin(), src.end(),
+              out.row(static_cast<VertexId>(i)).begin());
+  }
+  return out;
+}
+
 graph::LocalGraph ego_subgraph(const graph::Csr& g, VertexId query, int hops,
                                std::int64_t max_vertices) {
   TLP_CHECK_MSG(query >= 0 && query < g.num_vertices(),
@@ -82,10 +114,7 @@ std::vector<Request> generate_traffic(const graph::Csr& g,
   TLP_CHECK_GT(opts.burst_speedup, 0);
 
   Rng rng(opts.seed);
-  const std::vector<VertexId> perm = rank_to_vertex(g.num_vertices(), rng);
-  const std::vector<double> cdf =
-      opts.zipf_alpha > 0 ? zipf_cdf(g.num_vertices(), opts.zipf_alpha)
-                          : std::vector<double>{};
+  const QueryStream queries(g.num_vertices(), opts.zipf_alpha, rng);
 
   std::vector<Request> out;
   out.reserve(static_cast<std::size_t>(opts.num_requests));
@@ -101,16 +130,7 @@ std::vector<Request> generate_traffic(const graph::Csr& g,
     }
 
     // Popularity-weighted query vertex.
-    std::int64_t rank;
-    if (cdf.empty()) {
-      rank = static_cast<std::int64_t>(
-          rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
-    } else {
-      const double u = rng.next_double();
-      rank = std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
-      rank = std::min<std::int64_t>(rank, g.num_vertices() - 1);
-    }
-    const VertexId query = perm[static_cast<std::size_t>(rank)];
+    const VertexId query = queries.draw(rng);
 
     Request req;
     req.id = i;
@@ -125,11 +145,7 @@ std::vector<Request> generate_traffic(const graph::Csr& g,
     TLP_CHECK(it != req.ego.to_global.end() && *it == query);
     req.query_local = static_cast<VertexId>(it - req.ego.to_global.begin());
 
-    req.feat = tensor::Tensor(req.ego.csr.num_vertices(), feat.cols());
-    for (VertexId v = 0; v < req.ego.csr.num_vertices(); ++v) {
-      const auto src = feat.row(req.ego.to_global[static_cast<std::size_t>(v)]);
-      std::copy(src.begin(), src.end(), req.feat.row(v).begin());
-    }
+    req.feat = gather_rows(feat, req.ego.to_global);
     out.push_back(std::move(req));
   }
   return out;

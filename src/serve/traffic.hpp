@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "graph/csr.hpp"
 #include "serve/request.hpp"
 #include "tensor/tensor.hpp"
@@ -51,6 +52,38 @@ struct TrafficOptions {
 /// in global id order. Exposed for tests and direct single-request use.
 graph::LocalGraph ego_subgraph(const graph::Csr& g, graph::VertexId query,
                                int hops, std::int64_t max_vertices);
+
+/// The query-popularity law of the traffic stream, factored out of
+/// generate_traffic so the pre-sampling feature cache (feature_cache.hpp)
+/// can replay the *same* law during its warm-up rounds. Holds the seeded
+/// rank-to-vertex permutation plus the Zipf CDF; drawing is stateless over a
+/// caller-supplied Rng. Construction consumes exactly one Fisher–Yates pass
+/// from `rng` and draw() exactly one variate, so generate_traffic's draw
+/// sequence — and therefore every checked-in traffic seed — is unchanged by
+/// the refactor.
+class QueryStream {
+ public:
+  /// Draws the rank->vertex permutation from `rng`; `zipf_alpha == 0` makes
+  /// draws uniform over the vertex set.
+  QueryStream(graph::VertexId num_vertices, double zipf_alpha, Rng& rng);
+
+  /// One popularity-weighted query vertex (consumes one variate of `rng`).
+  [[nodiscard]] graph::VertexId draw(Rng& rng) const;
+
+  [[nodiscard]] graph::VertexId num_vertices() const {
+    return static_cast<graph::VertexId>(rank_to_vertex_.size());
+  }
+
+ private:
+  std::vector<graph::VertexId> rank_to_vertex_;
+  std::vector<double> cdf_;  ///< cumulative P(rank); empty = uniform
+};
+
+/// Dense gather of the feature rows of `ids` (global vertex ids, one output
+/// row per id, in order) — the uncached per-request gather path. The cached
+/// path (FeatureCache::gather) must produce byte-identical output.
+tensor::Tensor gather_rows(const tensor::Tensor& feat,
+                           const std::vector<graph::VertexId>& ids);
 
 /// Generates the full request sequence. `feat` is the global feature matrix
 /// (one row per vertex of `g`); each request gathers its ego rows from it.

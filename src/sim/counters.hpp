@@ -97,6 +97,16 @@ struct Metrics {
   /// High-water mark of device allocations. CUDA analogue: `cudaMemGetInfo`
   /// delta (or `nvidia-smi` memory at peak). Unit: bytes.
   std::int64_t peak_device_bytes = 0;
+
+  /// Feature-gather rows served from the serving tier's pinned cache region
+  /// (serve::FeatureCache). Nsight Compute analogue: `dram__bytes_read.sum`
+  /// scoped to the cache allocation — device-local, coalesced. Zero unless
+  /// a cache is attached. Unit: bytes.
+  double bytes_cache_hit = 0;
+  /// Feature-gather rows that missed the cache and crossed the host link.
+  /// Nsight Systems analogue: H2D memcpy bytes on the PCIe timeline for the
+  /// serving session. Zero unless a cache is attached. Unit: bytes.
+  double bytes_cache_miss = 0;
 };
 
 /// Collects KernelRecords for a sequence of launches and derives Metrics.

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Documentation drift gate (CI `docs-check` job, DESIGN.md §12).
+
+Two families of checks over the repo's hand-written markdown:
+
+1. **Link integrity.** Every intra-repo markdown link — `[text](path)`,
+   `[text](path#anchor)`, `[text](#anchor)` — must resolve: the target file
+   exists (relative to the linking file), and the anchor matches a heading in
+   the target under GitHub's slugging rules (lowercase, punctuation stripped,
+   spaces to hyphens, `-1`/`-2`… suffixes for duplicates). External links
+   (`http://`, `https://`, `mailto:`) are out of scope.
+
+2. **Count claims.** Prose that states a number the repo can compute is
+   re-derived from the tree and compared, so the docs cannot silently rot:
+     - README's test-count line (`N test cases across M suites`) against the
+       TEST/TEST_F/TEST_P macros and test_*.cpp files under tests/.
+
+Exit status: 0 when clean, 1 with one line per finding otherwise. Run from
+anywhere; the repo root is located from this file's path.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Hand-written markdown that must stay link-clean. EXPERIMENTS.md is
+# generated (the bench-smoke drift gate owns it) but its links still have to
+# resolve, so it is checked too.
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+]
+
+# [text](target) — excluding images; target split on the first '#'.
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+# GitHub's anchor slug: drop everything but word chars, spaces, hyphens;
+# lowercase; spaces to hyphens. Inline code/emphasis markers vanish with the
+# punctuation strip, which matches GitHub's behavior for the headings used
+# in this repo.
+SLUG_STRIP_RE = re.compile(r"[^\w\- ]")
+
+
+def github_slug(heading: str) -> str:
+    slug = SLUG_STRIP_RE.sub("", heading.strip().lower())
+    return slug.replace(" ", "-")
+
+
+def heading_anchors(md_path: Path) -> set[str]:
+    """All anchor slugs a file exposes, with GitHub's duplicate suffixing."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        base = github_slug(m.group(2))
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+def extract_links(md_path: Path) -> list[tuple[int, str]]:
+    """(line_number, target) for every non-image link outside code fences."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        md_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            links.append((lineno, m.group(1)))
+    return links
+
+
+def check_links() -> list[str]:
+    errors: list[str] = []
+    anchor_cache: dict[Path, set[str]] = {}
+
+    def anchors_of(path: Path) -> set[str]:
+        if path not in anchor_cache:
+            anchor_cache[path] = heading_anchors(path)
+        return anchor_cache[path]
+
+    for rel in DOCS:
+        doc = REPO / rel
+        if not doc.is_file():
+            errors.append(f"{rel}: file listed in DOCS does not exist")
+            continue
+        for lineno, target in extract_links(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = (doc.parent / path_part).resolve()
+                if not dest.exists():
+                    errors.append(
+                        f"{rel}:{lineno}: broken link '{target}' "
+                        f"(no such file: {path_part})"
+                    )
+                    continue
+            else:
+                dest = doc  # bare '#anchor' points into the same file
+            if anchor:
+                if dest.suffix.lower() != ".md" or dest.is_dir():
+                    continue  # anchors into non-markdown are not checkable
+                if anchor.lower() not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: broken anchor '{target}' "
+                        f"(no heading slugs to '#{anchor}' in "
+                        f"{dest.relative_to(REPO)})"
+                    )
+    return errors
+
+
+# README claims the test-suite scale on its ctest line; recompute both
+# numbers from the tree. "Suites" = test_*.cpp binaries (one ctest entry
+# each); "test cases" = TEST/TEST_F/TEST_P macro instantiations.
+COUNT_CLAIM_RE = re.compile(r"(\d+)\s+test cases across\s+(\d+)\s+suites")
+GTEST_MACRO_RE = re.compile(r"^\s*TEST(?:_F|_P)?\(", re.MULTILINE)
+
+
+def check_counts() -> list[str]:
+    errors: list[str] = []
+    suites = sorted((REPO / "tests").glob("test_*.cpp"))
+    n_suites = len(suites)
+    n_cases = sum(
+        len(GTEST_MACRO_RE.findall(p.read_text(encoding="utf-8")))
+        for p in suites
+    )
+
+    readme = REPO / "README.md"
+    claims = COUNT_CLAIM_RE.findall(readme.read_text(encoding="utf-8"))
+    if not claims:
+        errors.append(
+            "README.md: no 'N test cases across M suites' claim found "
+            f"(expected '{n_cases} test cases across {n_suites} suites')"
+        )
+    for cases, suite_count in claims:
+        if int(cases) != n_cases or int(suite_count) != n_suites:
+            errors.append(
+                f"README.md: stale test count claim '{cases} test cases "
+                f"across {suite_count} suites' — tree has {n_cases} test "
+                f"cases across {n_suites} suites (regenerate the claim)"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_counts()
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = ", ".join(rel for rel in DOCS if (REPO / rel).is_file())
+    if errors:
+        print(f"docs-check: {len(errors)} finding(s) in [{checked}]",
+              file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,16 @@
 //   storm:    [--storm-at REQ] [--storm-oom-every N] [--storm-oom-burst L]
 //             [--storm-launch-every N] [--storm-launch-burst L]
 //             [--storm-stop-at REQ]
+//   cache:    [--cache-policy presample|degree|none] [--cache-ratio 0.1]
+//             [--cache-rounds 3]
 //   output:   [--json PATH] [--verify] [--quiet]
+//
+// The cache flags attach a pre-sampling feature cache (DESIGN.md §12):
+// --cache-policy picks how the pinned set is ranked, --cache-ratio the
+// fraction of vertices pinned, --cache-rounds the warm-up sampling rounds.
+// Served rows stay bit-identical to a cacheless run; only the latency /
+// cache accounting changes. Without --cache-policy the gather stays free
+// (the legacy pre-cache behavior, byte-for-byte).
 //
 // The storm flags arm a recurring FaultPlan right before the batch holding
 // request REQ executes (and disarm it at --storm-stop-at). --verify re-runs
@@ -29,6 +38,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,7 @@
 #include "common/table.hpp"
 #include "graph/datasets.hpp"
 #include "graph/io.hpp"
+#include "serve/feature_cache.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -55,6 +66,7 @@ const std::vector<std::string>& known_flags() {
       "breaker-cooldown-ms", "gpu-scale", "device-mem-gb",
       "storm-at", "storm-oom-every", "storm-oom-burst", "storm-launch-every",
       "storm-launch-burst", "storm-stop-at",
+      "cache-policy", "cache-ratio", "cache-rounds",
       "json", "verify", "quiet", "help"};
   return kFlags;
 }
@@ -165,6 +177,26 @@ serve::ServerOptions server_options(const Args& args) {
   return s;
 }
 
+/// Parses the cache flags. --cache-policy anchors the group (mirrors the
+/// storm flags): without it the other cache flags are rejected and the
+/// server runs cacheless.
+std::optional<serve::FeatureCacheOptions> cache_options(const Args& args) {
+  if (!args.has("cache-policy")) {
+    for (const char* f : {"cache-ratio", "cache-rounds"}) {
+      TLP_CHECK_MSG(!args.has(f),
+                    "--" << f << " requires --cache-policy to attach a cache");
+    }
+    return std::nullopt;
+  }
+  serve::FeatureCacheOptions c;
+  c.policy =
+      serve::cache_policy_from_name(args.get("cache-policy", "presample"));
+  c.cache_ratio = args.get_double_checked("cache-ratio", 0.10, 0, 1);
+  c.warmup_rounds =
+      static_cast<int>(args.get_int_checked("cache-rounds", 3, 0, 1024));
+  return c;
+}
+
 void print_report(const serve::SloReport& r) {
   TextTable t({"SLO metric", "value"});
   t.add_row({"requests", std::to_string(r.total)});
@@ -187,6 +219,15 @@ void print_report(const serve::SloReport& r) {
              std::to_string(r.direct_attempts) + " / " +
                  std::to_string(r.fallback_attempts)});
   t.add_row({"breaker opens", std::to_string(r.breaker_opens)});
+  if (r.cache_policy != "off") {
+    t.add_row({"cache policy / pinned rows",
+               r.cache_policy + " / " + std::to_string(r.cache_pinned_rows)});
+    t.add_row({"cache hit ratio", pct(r.cache_hit_ratio)});
+    t.add_row({"cache hit / miss rows",
+               std::to_string(r.cache_hit_rows) + " / " +
+                   std::to_string(r.cache_miss_rows)});
+    t.add_row({"cache gather time", fixed(r.cache_gather_ms, 3) + " ms"});
+  }
   t.print();
 }
 
@@ -259,7 +300,11 @@ int run(const Args& args) {
                 sopts.storms.empty() ? "" : " | fault storm armed");
   }
 
-  serve::Server server(sopts);
+  const std::optional<serve::FeatureCacheOptions> copts = cache_options(args);
+  std::optional<serve::FeatureCache> cache;
+  if (copts) cache.emplace(g, feat, topts, *copts);
+
+  serve::Server server(sopts, cache ? &*cache : nullptr);
   const serve::ServeResult res = server.run(traffic, spec);
   if (!quiet) print_report(res.report);
 
@@ -267,7 +312,11 @@ int run(const Args& args) {
   if (args.get_bool("verify", false)) {
     serve::ServerOptions clean_opts = sopts;
     clean_opts.storms.clear();
-    serve::Server clean(clean_opts);
+    // The twin gets its own cache (same deterministic pinned set) so its
+    // stats do not pollute the storm run's accounting.
+    std::optional<serve::FeatureCache> twin_cache;
+    if (copts) twin_cache.emplace(g, feat, topts, *copts);
+    serve::Server clean(clean_opts, twin_cache ? &*twin_cache : nullptr);
     const serve::ServeResult twin = clean.run(traffic, spec);
     rc = verify_against_fault_free(res.responses, twin.responses);
   }
