@@ -29,6 +29,7 @@
 #include "graph/datasets.hpp"
 #include "models/reference.hpp"
 #include "report/report.hpp"
+#include "sim/timing.hpp"
 #include "systems/system.hpp"
 
 namespace tlp::bench {
@@ -37,6 +38,12 @@ struct BenchConfig {
   graph::ReplicaOptions replica;
   std::int64_t feature_size = 32;
   std::uint64_t seed = 42;
+  /// --timing-tier: "mech" (default) runs only the bit-pinned mechanistic
+  /// tier; "analytical" additionally runs every configuration under the
+  /// closed-form fast tier and records `variant@analytical` twins, which the
+  /// tier-gated ratio_band assertions in bench/baseline.json validate
+  /// (DESIGN.md §13). The mechanistic records are byte-identical either way.
+  sim::TimingTier timing_tier = sim::TimingTier::kMechanistic;
 
   static BenchConfig from_args(const Args& args,
                                std::int64_t default_max_edges,
@@ -47,6 +54,9 @@ struct BenchConfig {
     cfg.replica.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     cfg.feature_size = args.get_int("feature", default_feature);
     cfg.seed = cfg.replica.seed;
+    const std::string tier = args.get_choice(
+        "timing-tier", "mech", {"mech", "mechanistic", "analytical"});
+    (void)sim::timing_tier_from_name(tier, cfg.timing_tier);
     return cfg;
   }
 };
@@ -98,18 +108,41 @@ inline tensor::Tensor make_features(const graph::Csr& g, std::int64_t f,
 }
 
 /// Runs `system_name` on one dataset replica and returns the result.
-inline systems::RunResult run_system(const std::string& system_name,
-                                     models::ModelKind kind,
-                                     const graph::Csr& g,
-                                     const tensor::Tensor& feat,
-                                     std::uint64_t seed,
-                                     const sim::GpuSpec& gpu = sim::GpuSpec::v100()) {
+inline systems::RunResult run_system(
+    const std::string& system_name, models::ModelKind kind,
+    const graph::Csr& g, const tensor::Tensor& feat, std::uint64_t seed,
+    const sim::GpuSpec& gpu = sim::GpuSpec::v100(),
+    sim::TimingTier tier = sim::TimingTier::kMechanistic) {
   Rng rng(seed);
   const models::ConvSpec spec =
       models::ConvSpec::make(kind, feat.cols(), rng);
-  sim::Device dev(gpu);
+  sim::DeviceOptions opts;
+  opts.timing_tier = tier;
+  sim::Device dev(gpu, opts);
   auto sys = systems::make_system(system_name);
   return sys->run(dev, g, feat, spec);
+}
+
+/// Runs one configuration under the mechanistic tier and — when the bench
+/// was invoked with --timing-tier analytical — a second time under the
+/// analytical tier. `record(result, suffix)` is called with suffix "" for
+/// the mechanistic run (always, first, so mechanistic records stay
+/// byte-identical to a mech-only run) and "@analytical" for the fast-tier
+/// twin; benches append the suffix to the record's variant name, which is
+/// what the tier-gated ratio_band assertions in bench/baseline.json match.
+template <class RecordFn>
+void run_tiers(const BenchConfig& cfg, const std::string& system_name,
+               models::ModelKind kind, const graph::Csr& g,
+               const tensor::Tensor& feat, const sim::GpuSpec& gpu,
+               RecordFn&& record) {
+  record(run_system(system_name, kind, g, feat, cfg.seed, gpu,
+                    sim::TimingTier::kMechanistic),
+         "");
+  if (cfg.timing_tier == sim::TimingTier::kAnalytical) {
+    record(run_system(system_name, kind, g, feat, cfg.seed, gpu,
+                      sim::TimingTier::kAnalytical),
+           "@analytical");
+  }
 }
 
 inline void print_header(const std::string& title, const std::string& setup) {
@@ -136,6 +169,10 @@ class Reporter {
     out_->config.set("full", cfg.replica.full);
     out_->config.set("feature", cfg.feature_size);
     out_->config.set("seed", static_cast<std::int64_t>(cfg.seed));
+    // Only recorded when the fast tier ran, so mech-only reports stay
+    // byte-identical to pre-analytical ones.
+    if (cfg.timing_tier == sim::TimingTier::kAnalytical)
+      out_->config.set("timing_tier", "analytical");
   }
 
   /// Starts a record for one measured configuration; chain `.value(...)`.
@@ -195,8 +232,9 @@ struct BenchDef {
 
 /// Flags every bench accepts (kept in sync with the header comment above).
 inline const std::vector<std::string>& common_flags() {
-  static const std::vector<std::string> flags{"max-edges", "full", "feature",
-                                              "seed", "json", "help"};
+  static const std::vector<std::string> flags{"max-edges", "full",  "feature",
+                                              "seed",      "json",  "help",
+                                              "timing-tier"};
   return flags;
 }
 
@@ -225,7 +263,7 @@ inline void print_usage(const BenchDef& def, std::FILE* to) {
   std::fprintf(to, "%s: %s\n", def.name, def.title);
   std::fprintf(to,
                "flags: --max-edges N  --full  --feature F  --seed S  "
-               "--json PATH  --help");
+               "--json PATH  --timing-tier {mech,analytical}  --help");
   for (const std::string& f : split_csv(def.extra_flags))
     std::fprintf(to, "  --%s", f.c_str());
   std::fprintf(to, "\n");
@@ -250,7 +288,13 @@ inline int standalone_main(const BenchDef& def, int argc, char** argv) {
   result.name = def.name;
   result.title = def.title;
   Reporter rep(args.has("json") ? &result : nullptr);
-  const int rc = def.fn(args, rep);
+  int rc = 0;
+  try {
+    rc = def.fn(args, rep);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (rc == 0 && args.has("json")) {
     report::Report doc;
     doc.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));

@@ -30,18 +30,22 @@ int run(const Args& args, bench::Reporter& rep) {
     const tensor::Tensor feat =
         bench::make_features(g, cfg.feature_size, cfg.seed);
     const sim::GpuSpec gpu = bench::gpu_for(ds, cfg);
-    const auto gcn = bench::run_system("gnnadvisor", ModelKind::kGcn, g, feat,
-                                       cfg.seed, gpu);
-    const auto gin = bench::run_system("gnnadvisor", ModelKind::kGin, g, feat,
-                                       cfg.seed, gpu);
-    const auto tlp = bench::run_system("tlpgnn", ModelKind::kGcn, g, feat,
-                                       cfg.seed, gpu);
-    rep.add("", ds.abbr, "gnnadvisor-gcn")
-        .value("bytes_atomic", gcn.metrics.bytes_atomic);
-    rep.add("", ds.abbr, "gnnadvisor-gin")
-        .value("bytes_atomic", gin.metrics.bytes_atomic);
-    rep.add("", ds.abbr, "tlpgnn")
-        .value("bytes_atomic", tlp.metrics.bytes_atomic);
+    systems::RunResult gcn, gin, tlp;
+    const auto record = [&](systems::RunResult* keep,
+                            const std::string& variant) {
+      return [&, keep, variant](const systems::RunResult& r,
+                                const std::string& suffix) {
+        if (suffix.empty()) *keep = r;
+        rep.add("", ds.abbr, variant + suffix)
+            .value("bytes_atomic", r.metrics.bytes_atomic);
+      };
+    };
+    bench::run_tiers(cfg, "gnnadvisor", ModelKind::kGcn, g, feat, gpu,
+                     record(&gcn, "gnnadvisor-gcn"));
+    bench::run_tiers(cfg, "gnnadvisor", ModelKind::kGin, g, feat, gpu,
+                     record(&gin, "gnnadvisor-gin"));
+    bench::run_tiers(cfg, "tlpgnn", ModelKind::kGcn, g, feat, gpu,
+                     record(&tlp, "tlpgnn"));
     t.add_row({ds.abbr, human_bytes(gcn.metrics.bytes_atomic),
                human_bytes(gin.metrics.bytes_atomic),
                human_bytes(tlp.metrics.bytes_atomic)});

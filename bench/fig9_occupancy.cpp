@@ -30,15 +30,24 @@ int run(const Args& args, bench::Reporter& rep) {
     const tensor::Tensor feat =
         bench::make_features(g, cfg.feature_size, cfg.seed);
     const sim::GpuSpec gpu = bench::gpu_for(ds, cfg);
-    const auto fg =
-        bench::run_system("featgraph", ModelKind::kGcn, g, feat, cfg.seed, gpu);
-    const auto tlp =
-        bench::run_system("tlpgnn", ModelKind::kGcn, g, feat, cfg.seed, gpu);
-    fg_all.push_back(fg.metrics.achieved_occupancy);
-    tlp_all.push_back(tlp.metrics.achieved_occupancy);
-    rep.add("", ds.abbr, "featgraph")
-        .value("achieved_occupancy", fg_all.back());
-    rep.add("", ds.abbr, "tlpgnn").value("achieved_occupancy", tlp_all.back());
+    bench::run_tiers(cfg, "featgraph", ModelKind::kGcn, g, feat, gpu,
+                     [&](const systems::RunResult& r,
+                         const std::string& suffix) {
+                       if (suffix.empty())
+                         fg_all.push_back(r.metrics.achieved_occupancy);
+                       rep.add("", ds.abbr, "featgraph" + suffix)
+                           .value("achieved_occupancy",
+                                  r.metrics.achieved_occupancy);
+                     });
+    bench::run_tiers(cfg, "tlpgnn", ModelKind::kGcn, g, feat, gpu,
+                     [&](const systems::RunResult& r,
+                         const std::string& suffix) {
+                       if (suffix.empty())
+                         tlp_all.push_back(r.metrics.achieved_occupancy);
+                       rep.add("", ds.abbr, "tlpgnn" + suffix)
+                           .value("achieved_occupancy",
+                                  r.metrics.achieved_occupancy);
+                     });
     t.add_row({ds.abbr, pct(fg_all.back()), pct(tlp_all.back())});
   }
   rep.add("summary", "", "featgraph")

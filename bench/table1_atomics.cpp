@@ -33,9 +33,12 @@ int run(const Args& args, bench::Reporter& rep) {
   std::vector<systems::RunResult> results;
   const sim::GpuSpec gpu = bench::gpu_for(spec, cfg);
   for (const auto& name : sysnames) {
-    results.push_back(bench::run_system(name, models::ModelKind::kGcn, g, feat,
-                                        cfg.seed, gpu));
-    rep.add_run("", spec.abbr, name, results.back());
+    bench::run_tiers(cfg, name, models::ModelKind::kGcn, g, feat, gpu,
+                     [&](const systems::RunResult& r,
+                         const std::string& suffix) {
+                       if (suffix.empty()) results.push_back(r);
+                       rep.add_run("", spec.abbr, name + suffix, r);
+                     });
   }
 
   auto row = [&](const std::string& label, auto getter) {

@@ -21,8 +21,11 @@ struct LpvResult {
 };
 
 LpvResult run_lpv(const graph::Csr& g, const tensor::Tensor& feat, int lpv,
-                  const sim::GpuSpec& gpu) {
-  sim::Device dev(gpu);
+                  const sim::GpuSpec& gpu,
+                  sim::TimingTier tier = sim::TimingTier::kMechanistic) {
+  sim::DeviceOptions dopts;
+  dopts.timing_tier = tier;
+  sim::Device dev(gpu, dopts);
   const kernels::DeviceGraph dg = kernels::upload_graph(dev, g);
   const auto dfeat = kernels::upload_features(dev, feat);
   auto dout = dev.alloc_zeroed<float>(dg.n * feat.cols());
@@ -58,10 +61,20 @@ int run(const Args& args, bench::Reporter& rep) {
       "replica " + g.summary());
 
   const sim::GpuSpec gpu = bench::gpu_for(spec, cfg);
-  const LpvResult one = run_lpv(g, feat, 1, gpu);
-  const LpvResult half = run_lpv(g, feat, 16, gpu);
-  record_lpv(rep, "one-thread", one);
-  record_lpv(rep, "half-warp", half);
+  // Mechanistic run + record (always); analytical twin record when the
+  // fast tier is selected (mirrors bench::run_tiers for this kernel-level
+  // bench that drives the Device directly).
+  const auto measure = [&](int lpv, const std::string& variant) {
+    const LpvResult m = run_lpv(g, feat, lpv, gpu);
+    record_lpv(rep, variant, m);
+    if (cfg.timing_tier == sim::TimingTier::kAnalytical) {
+      record_lpv(rep, variant + "@analytical",
+                 run_lpv(g, feat, lpv, gpu, sim::TimingTier::kAnalytical));
+    }
+    return m;
+  };
+  const LpvResult one = measure(1, "one-thread");
+  const LpvResult half = measure(16, "half-warp");
 
   TextTable t({"Metrics", "One Thread", "Half Warp"});
   t.add_row({"Runtime (ms)", fixed(one.runtime_ms, 3), fixed(half.runtime_ms, 3)});
@@ -79,8 +92,7 @@ int run(const Args& args, bench::Reporter& rep) {
   std::printf("\nLanes-per-vertex sweep (extension ablation):\n");
   TextTable sweep({"lanes/vertex", "runtime (ms)", "sectors/req", "L1 hit"});
   for (const int lpv : {1, 2, 4, 8, 16, 32}) {
-    const LpvResult r = run_lpv(g, feat, lpv, gpu);
-    record_lpv(rep, "lpv=" + std::to_string(lpv), r);
+    const LpvResult r = measure(lpv, "lpv=" + std::to_string(lpv));
     sweep.add_row({std::to_string(lpv), fixed(r.runtime_ms, 3),
                    fixed(r.sectors_per_request, 1), pct(r.l1_hit)});
   }

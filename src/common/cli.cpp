@@ -93,6 +93,26 @@ double Args::get_double_checked(const std::string& name, double def,
   return value;
 }
 
+std::string Args::get_choice(
+    const std::string& name, const std::string& def,
+    std::initializer_list<std::string_view> valid) const {
+  const auto it = named_.find(name);
+  const std::string value = it == named_.end() ? def : it->second;
+  for (const std::string_view v : valid) {
+    if (value == v) return value;
+  }
+  std::string msg = "flag --" + name + ": unknown value \"" + value + "\"";
+  msg += " (valid: ";
+  bool first = true;
+  for (const std::string_view v : valid) {
+    if (!first) msg += ", ";
+    first = false;
+    msg.append(v);
+  }
+  msg += ")";
+  throw UsageError(msg);
+}
+
 bool Args::get_bool(const std::string& name, bool def) const {
   const auto it = named_.find(name);
   if (it == named_.end()) return def;

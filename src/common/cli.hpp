@@ -6,12 +6,24 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tlp {
+
+/// A malformed command line (unknown enum value, contradictory flags).
+/// Binaries catch this in main() and exit with status 2 — distinct from
+/// tlp::CheckError (bad input data / violated invariant → exit 1) so
+/// scripts and CI can tell usage mistakes from runtime failures.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Args {
  public:
@@ -39,6 +51,15 @@ class Args {
       const std::string& name, double def,
       double lo = -std::numeric_limits<double>::infinity(),
       double hi = std::numeric_limits<double>::infinity()) const;
+
+  /// Checked getter for enum-valued flags (--timing-tier, --cache-policy):
+  /// returns the flag's value (or `def` when the flag is absent) only when
+  /// it is one of `valid`; anything else throws tlp::UsageError with a
+  /// diagnostic naming the flag, the offending value, and the full valid
+  /// set. Callers turn that into exit code 2.
+  [[nodiscard]] std::string get_choice(
+      const std::string& name, const std::string& def,
+      std::initializer_list<std::string_view> valid) const;
 
   /// Positional (non --flag) arguments, in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {

@@ -36,6 +36,10 @@ double percentile(std::vector<double> xs, double q) {
   TLP_CHECK(q >= 0.0 && q <= 1.0);
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
+  // Inclusive linear interpolation (see stats.hpp): position q*(n-1) sits
+  // between order statistics lo and lo+1. At q == 1.0, pos is exactly n-1,
+  // so frac == 0 and the hi clamp keeps the read in range — the maximum is
+  // returned exactly rather than through an out-of-range xs[lo + 1].
   const double pos = q * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, xs.size() - 1);

@@ -11,7 +11,16 @@ double mean(std::span<const double> xs);
 double geomean(std::span<const double> xs);  ///< requires all xs > 0
 double stddev(std::span<const double> xs);   ///< population std deviation
 
-/// q in [0,1]; linear interpolation between order statistics.
+/// q in [0,1]; linear interpolation between closest order statistics — the
+/// "inclusive" rule (NumPy's default): the sorted sample is treated as exact
+/// quantiles at positions k/(n-1), so percentile(xs, q) reads position
+/// q*(n-1) with linear interpolation between the two neighboring samples.
+/// Edge behavior, which SloReport's p50/p99 inherit:
+///   - empty input  -> 0.0 (not NaN — "no latencies observed" reports 0);
+///   - single sample-> that sample for every q;
+///   - q == 0.0     -> the minimum, q == 1.0 -> the maximum, both exactly
+///     (no interpolation residue: the fractional part is 0 at the ends).
+/// q outside [0,1] fails a check.
 double percentile(std::vector<double> xs, double q);
 
 /// Coefficient of variation (stddev / mean); 0 for empty or zero-mean input.

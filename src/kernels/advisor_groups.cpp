@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using models::ModelKind;
@@ -71,8 +73,7 @@ void AdvisorGroupKernel::run_item(WarpCtx& warp, std::int64_t item) {
       const WVec<float> x =
           warp.load_f32_seq(feat_, chunk_start(u, f_, c), chunk_len(f_, c));
       auto& a = acc[static_cast<std::size_t>(c)];
-      for (int l = 0; l < sim::kWarpSize; ++l)
-        a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      sim::lane_axpy(a, w, x);
       warp.charge_alu(1);
     }
     warp.charge_alu(1);

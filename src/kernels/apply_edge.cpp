@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using sim::Mask;
@@ -32,10 +34,7 @@ EdgeBatch load_batch(WarpCtx& warp, const DeviceCoo& coo, std::int64_t item,
 }
 
 WVec<std::int64_t> widen(const WVec<std::int32_t>& v) {
-  WVec<std::int64_t> out{};
-  for (int l = 0; l < sim::kWarpSize; ++l)
-    out[static_cast<std::size_t>(l)] = v[static_cast<std::size_t>(l)];
-  return out;
+  return sim::lane_widen(v);
 }
 
 }  // namespace
@@ -143,8 +142,7 @@ void EdgeWeightedAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
     }
     warp.site(gather_site);
     WVec<float> x = warp.load_f32(feat_, fidx, b.m);
-    for (int l = 0; l < sim::kWarpSize; ++l)
-      x[static_cast<std::size_t>(l)] *= w[static_cast<std::size_t>(l)];
+    sim::lane_mul(x, w);
     warp.charge_alu(1);
     warp.site(scatter_site);
     warp.atomic_add_f32(out_, oidx, x, b.m);
@@ -158,7 +156,7 @@ void UMulEMaterializeKernel::run_item(WarpCtx& warp, std::int64_t e) {
   for (int c = 0; c < num_chunks(f_); ++c) {
     const int n = chunk_len(f_, c);
     WVec<float> x = warp.load_f32_seq(feat_, chunk_start(src, f_, c), n);
-    for (auto& v : x) v *= w;
+    sim::lane_scale(x, w);
     warp.charge_alu(1);
     warp.store_f32_seq(msg_, chunk_start(e, f_, c), x, n);
   }

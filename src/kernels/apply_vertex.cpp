@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using sim::Mask;
@@ -9,8 +11,7 @@ using sim::WarpCtx;
 using sim::WVec;
 
 void FillRowsKernel::run_item(WarpCtx& warp, std::int64_t v) {
-  WVec<float> val{};
-  for (auto& x : val) x = value_;
+  const WVec<float> val = sim::lane_splat(value_);
   for (int c = 0; c < num_chunks(f_); ++c) {
     warp.store_f32_seq(out_, chunk_start(v, f_, c), val, chunk_len(f_, c));
   }
@@ -44,7 +45,7 @@ void RowScaleKernel::run_item(WarpCtx& warp, std::int64_t v) {
   for (int c = 0; c < num_chunks(f_); ++c) {
     const int n = chunk_len(f_, c);
     WVec<float> x = warp.load_f32_seq(in_, chunk_start(v, f_, c), n);
-    for (auto& e : x) e *= s;
+    sim::lane_scale(x, s);
     warp.charge_alu(1);
     warp.store_f32_seq(out_, chunk_start(v, f_, c), x, n);
   }
@@ -61,8 +62,7 @@ void AddScaledSelfKernel::run_item(WarpCtx& warp, std::int64_t v) {
     const int n = chunk_len(f_, c);
     const WVec<float> x = warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
     WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
-    for (int l = 0; l < sim::kWarpSize; ++l)
-      cur[static_cast<std::size_t>(l)] += s * x[static_cast<std::size_t>(l)];
+    sim::lane_axpy(cur, s, x);
     warp.charge_alu(1);
     warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
   }
@@ -73,7 +73,7 @@ void ScaleRowsByVecKernel::run_item(WarpCtx& warp, std::int64_t r) {
   for (int c = 0; c < num_chunks(f_); ++c) {
     const int n = chunk_len(f_, c);
     WVec<float> x = warp.load_f32_seq(in_, chunk_start(r, f_, c), n);
-    for (auto& e : x) e *= s;
+    sim::lane_scale(x, s);
     warp.charge_alu(1);
     warp.store_f32_seq(out_, chunk_start(r, f_, c), x, n);
   }
@@ -86,10 +86,8 @@ void VertexDotKernel::run_item(WarpCtx& warp, std::int64_t v) {
     const int n = chunk_len(f_, c);
     const WVec<float> x = warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
     const WVec<float> w = warp.load_f32_seq(weight_, chunk_start(0, f_, c), n);
-    WVec<float> prod{};
-    for (int l = 0; l < sim::kWarpSize; ++l)
-      prod[static_cast<std::size_t>(l)] =
-          x[static_cast<std::size_t>(l)] * w[static_cast<std::size_t>(l)];
+    WVec<float> prod = x;
+    sim::lane_mul(prod, w);
     warp.charge_alu(1);
     dot += warp.reduce_sum(prod, m);
   }
@@ -104,13 +102,9 @@ void GatHalvesKernel::run_item(WarpCtx& warp, std::int64_t v) {
     const WVec<float> x = warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
     const WVec<float> ws = warp.load_f32_seq(a_src_, chunk_start(0, f_, c), n);
     const WVec<float> wd = warp.load_f32_seq(a_dst_, chunk_start(0, f_, c), n);
-    WVec<float> ps{}, pd{};
-    for (int l = 0; l < sim::kWarpSize; ++l) {
-      ps[static_cast<std::size_t>(l)] =
-          x[static_cast<std::size_t>(l)] * ws[static_cast<std::size_t>(l)];
-      pd[static_cast<std::size_t>(l)] =
-          x[static_cast<std::size_t>(l)] * wd[static_cast<std::size_t>(l)];
-    }
+    WVec<float> ps = x, pd = x;
+    sim::lane_mul(ps, ws);
+    sim::lane_mul(pd, wd);
     warp.charge_alu(2);
     s += warp.reduce_sum(ps, m);
     d += warp.reduce_sum(pd, m);

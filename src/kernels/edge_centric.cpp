@@ -1,5 +1,7 @@
 #include "kernels/edge_centric.hpp"
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using models::ModelKind;
@@ -35,23 +37,18 @@ void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
   const WVec<std::int32_t> src = warp.load_i32_seq(coo_.src, base, nlanes);
   const WVec<std::int32_t> dst = warp.load_i32_seq(coo_.dst, base, nlanes);
 
-  WVec<float> w{};
-  for (auto& x : w) x = 1.0f;
+  WVec<float> w = sim::lane_splat(1.0f);
   if (conv_.kind == ModelKind::kGcn) {
     warp.site(TLP_SITE_SUPPRESS(
         "edge_norm_gather", "TLP-COAL-002",
         "edge parallelism gathers norms of 32 unrelated endpoints per "
         "request; the paper's edge-centric baseline accepts this (Table 5)"));
-    WVec<std::int64_t> sidx{}, didx{};
-    for (int l = 0; l < sim::kWarpSize; ++l) {
-      sidx[static_cast<std::size_t>(l)] = src[static_cast<std::size_t>(l)];
-      didx[static_cast<std::size_t>(l)] = dst[static_cast<std::size_t>(l)];
-    }
+    const WVec<std::int64_t> sidx = sim::lane_widen(src);
+    const WVec<std::int64_t> didx = sim::lane_widen(dst);
     const WVec<float> ns = warp.load_f32(norm_, sidx, m);
     const WVec<float> nd = warp.load_f32(norm_, didx, m);
-    for (int l = 0; l < sim::kWarpSize; ++l)
-      w[static_cast<std::size_t>(l)] = ns[static_cast<std::size_t>(l)] *
-                                       nd[static_cast<std::size_t>(l)];
+    w = ns;
+    sim::lane_mul(w, nd);
     warp.charge_alu(1);
   }
 
@@ -79,8 +76,7 @@ void EdgeCentricAggKernel::run_item(WarpCtx& warp, std::int64_t item) {
     }
     warp.site(gather_site);
     WVec<float> x = warp.load_f32(feat_, fidx, m);
-    for (int l = 0; l < sim::kWarpSize; ++l)
-      x[static_cast<std::size_t>(l)] *= w[static_cast<std::size_t>(l)];
+    sim::lane_mul(x, w);
     warp.charge_alu(1);
     warp.site(scatter_site);
     warp.atomic_add_f32(out_, oidx, x, m);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using sim::Mask;
@@ -112,9 +114,7 @@ void FusedGatKernel::run_item(WarpCtx& warp, std::int64_t v) {
           const WVec<float> x = warp.load_f32_seq(
               feat_, slice_chunk_start(u, f_, lo, c), slice_chunk_len(lo, hi, c));
           auto& a = acc[static_cast<std::size_t>(c)];
-          for (int k = 0; k < sim::kWarpSize; ++k)
-            a[static_cast<std::size_t>(k)] +=
-                alpha * x[static_cast<std::size_t>(k)];
+          sim::lane_axpy(a, alpha, x);
           warp.charge_alu(1);
         }
       }

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using models::ModelKind;
@@ -67,8 +69,7 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
       const WVec<float> x =
           warp.load_f32_seq(feat_, chunk_start(u, f_, c), chunk_len(f_, c));
       auto& a = acc[static_cast<std::size_t>(c)];
-      for (int l = 0; l < sim::kWarpSize; ++l)
-        a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      sim::lane_axpy(a, w, x);
       warp.charge_alu(1);  // fused multiply-add
     }
     warp.charge_alu(1);  // loop bookkeeping / branch
@@ -85,25 +86,21 @@ void GatherPullKernel::run_cached(WarpCtx& warp, std::int64_t v) {
       case ModelKind::kGcn: {
         const WVec<float> self =
             warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
-        for (int l = 0; l < sim::kWarpSize; ++l)
-          a[static_cast<std::size_t>(l)] +=
-              norm_v * norm_v * self[static_cast<std::size_t>(l)];
+        sim::lane_axpy(a, norm_v * norm_v, self);
         warp.charge_alu(2);
         break;
       }
       case ModelKind::kGin: {
         const WVec<float> self =
             warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
-        for (int l = 0; l < sim::kWarpSize; ++l)
-          a[static_cast<std::size_t>(l)] +=
-              (1.0f + conv_.gin_eps) * self[static_cast<std::size_t>(l)];
+        sim::lane_axpy(a, 1.0f + conv_.gin_eps, self);
         warp.charge_alu(2);
         break;
       }
       case ModelKind::kSage: {
         if (deg > 0) {
           const float inv = 1.0f / static_cast<float>(deg);
-          for (auto& x : a) x *= inv;
+          sim::lane_scale(a, inv);
         }
         warp.charge_alu(1);
         break;
@@ -164,8 +161,7 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
       const WVec<float> x =
           warp.load_f32_seq(feat_, chunk_start(u, f_, c), n);
       WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
-      for (int l = 0; l < sim::kWarpSize; ++l)
-        cur[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      sim::lane_axpy(cur, w, x);
       warp.charge_alu(1);
       warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
     }
@@ -186,25 +182,21 @@ void GatherPullKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
         const float norm_v = warp.load_scalar_f32(g_.norm, v);
         const WVec<float> self =
             warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
-        for (int l = 0; l < sim::kWarpSize; ++l)
-          cur[static_cast<std::size_t>(l)] +=
-              norm_v * norm_v * self[static_cast<std::size_t>(l)];
+        sim::lane_axpy(cur, norm_v * norm_v, self);
         warp.charge_alu(2);
         break;
       }
       case ModelKind::kGin: {
         const WVec<float> self =
             warp.load_f32_seq(feat_, chunk_start(v, f_, c), n);
-        for (int l = 0; l < sim::kWarpSize; ++l)
-          cur[static_cast<std::size_t>(l)] +=
-              (1.0f + conv_.gin_eps) * self[static_cast<std::size_t>(l)];
+        sim::lane_axpy(cur, 1.0f + conv_.gin_eps, self);
         warp.charge_alu(2);
         break;
       }
       case ModelKind::kSage: {
         if (deg > 0) {
           const float inv = 1.0f / static_cast<float>(deg);
-          for (auto& x : cur) x *= inv;
+          sim::lane_scale(cur, inv);
         }
         warp.charge_alu(1);
         break;

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using models::ModelKind;
@@ -45,8 +47,8 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
                                : 0.0f;
   if (self_scale != 0.0f) {
     for (int c = 0; c < chunks; ++c) {
-      WVec<float> msg = self[static_cast<std::size_t>(c)];
-      for (auto& x : msg) x *= self_scale;
+      WVec<float> msg =
+          sim::lane_scaled(self[static_cast<std::size_t>(c)], self_scale);
       warp.charge_alu(1);
       warp.site(TLP_SITE("push_self_scatter"));
       warp.atomic_add_f32_seq(out_, chunk_start(v, f_, c), msg,
@@ -70,8 +72,8 @@ void PushKernel::run_item(WarpCtx& warp, std::int64_t v) {
       warp.charge_alu(1);
     }
     for (int c = 0; c < chunks; ++c) {
-      WVec<float> msg = self[static_cast<std::size_t>(c)];
-      for (auto& x : msg) x *= w;
+      WVec<float> msg =
+          sim::lane_scaled(self[static_cast<std::size_t>(c)], w);
       warp.charge_alu(1);
       // The destination row is shared with every other in-neighbor of u:
       // atomic write per edge (the Observation I traffic). Deliberately NOT

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "sim/lanes.hpp"
+
 namespace tlp::kernels {
 
 using sim::Mask;
@@ -59,8 +61,7 @@ void SpmmKernel::run_cached(WarpCtx& warp, std::int64_t v) {
       const WVec<float> x =
           warp.load_f32_seq(x_, chunk_start(row, f_, c), chunk_len(f_, c));
       auto& a = acc[static_cast<std::size_t>(c)];
-      for (int l = 0; l < sim::kWarpSize; ++l)
-        a[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      sim::lane_axpy(a, w, x);
       warp.charge_alu(1);
     }
     warp.charge_alu(1);
@@ -71,7 +72,7 @@ void SpmmKernel::run_cached(WarpCtx& warp, std::int64_t v) {
     auto& a = acc[static_cast<std::size_t>(c)];
     if (weighting_ == Weighting::kMean && deg > 0) {
       const float inv = 1.0f / static_cast<float>(deg);
-      for (auto& x : a) x *= inv;
+      sim::lane_scale(a, inv);
       warp.charge_alu(1);
     }
     warp.store_f32_seq(out_, chunk_start(v, f_, c), a, chunk_len(f_, c));
@@ -102,8 +103,7 @@ void SpmmKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
       const int n = chunk_len(f_, c);
       const WVec<float> x = warp.load_f32_seq(x_, chunk_start(row, f_, c), n);
       WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
-      for (int l = 0; l < sim::kWarpSize; ++l)
-        cur[static_cast<std::size_t>(l)] += w * x[static_cast<std::size_t>(l)];
+      sim::lane_axpy(cur, w, x);
       warp.charge_alu(1);
       warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
     }
@@ -120,7 +120,7 @@ void SpmmKernel::run_uncached(WarpCtx& warp, std::int64_t v) {
       for (int c = 0; c < chunks; ++c) {
         const int n = chunk_len(f_, c);
         WVec<float> cur = warp.load_f32_seq(out_, chunk_start(v, f_, c), n);
-        for (auto& x : cur) x *= inv;
+        sim::lane_scale(cur, inv);
         warp.charge_alu(1);
         warp.store_f32_seq(out_, chunk_start(v, f_, c), cur, n);
       }

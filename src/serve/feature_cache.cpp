@@ -93,7 +93,11 @@ FeatureCache::FeatureCache(const graph::Csr& g, const tensor::Tensor& feat,
       Rng perm_rng(traffic.seed);
       const QueryStream stream(n, traffic.zipf_alpha, perm_rng);
       Rng warm(opts.warmup_seed);
-      for (int round = 0; round < opts.warmup_rounds; ++round) {
+      // n == 0 leaves the stream empty (draw() would fail loudly) and
+      // warmup_rounds == 0 (`--cache-rounds 0`) is a valid configuration:
+      // both leave every score zero, so drop_zero_scores pins nothing and
+      // the cache degrades to the uncached gather path.
+      for (int round = 0; n > 0 && round < opts.warmup_rounds; ++round) {
         for (std::int64_t q = 0; q < opts.warmup_queries_per_round; ++q) {
           const VertexId query = stream.draw(warm);
           const graph::LocalGraph ego = ego_subgraph(

@@ -41,14 +41,23 @@ std::vector<VertexId> rank_to_vertex(VertexId n, Rng& rng) {
 }  // namespace
 
 QueryStream::QueryStream(VertexId num_vertices, double zipf_alpha, Rng& rng) {
-  TLP_CHECK_GT(num_vertices, 0);
+  // An empty vertex set is a valid (if degenerate) stream: construction
+  // consumes zero rng draws and num_vertices() reports 0, so callers like
+  // FeatureCache can build the stream unconditionally and gate the drawing
+  // loop instead. Only draw() itself requires a non-empty set.
+  TLP_CHECK_GE(num_vertices, 0);
   TLP_CHECK_GE(zipf_alpha, 0);
   rank_to_vertex_ = rank_to_vertex(num_vertices, rng);
-  if (zipf_alpha > 0) cdf_ = zipf_cdf(num_vertices, zipf_alpha);
+  if (zipf_alpha > 0 && num_vertices > 0) {
+    cdf_ = zipf_cdf(num_vertices, zipf_alpha);
+  }
 }
 
 VertexId QueryStream::draw(Rng& rng) const {
   const auto n = static_cast<std::int64_t>(rank_to_vertex_.size());
+  // Rng::next_below(0) is an empty range (documented UB); fail loudly in
+  // every build mode rather than depending on the caller's checks.
+  TLP_CHECK_MSG(n > 0, "QueryStream::draw on an empty vertex set");
   std::int64_t rank;
   if (cdf_.empty()) {
     rank = static_cast<std::int64_t>(

@@ -64,10 +64,14 @@ graph::LocalGraph ego_subgraph(const graph::Csr& g, graph::VertexId query,
 class QueryStream {
  public:
   /// Draws the rank->vertex permutation from `rng`; `zipf_alpha == 0` makes
-  /// draws uniform over the vertex set.
+  /// draws uniform over the vertex set. `num_vertices` may be 0 (an empty
+  /// stream: zero rng draws consumed, only draw() is then invalid) or 1
+  /// (every draw returns vertex 0 after consuming its one variate, so seeded
+  /// draw sequences stay aligned with larger graphs).
   QueryStream(graph::VertexId num_vertices, double zipf_alpha, Rng& rng);
 
   /// One popularity-weighted query vertex (consumes one variate of `rng`).
+  /// Fails a check on an empty stream — never an empty-range rng draw.
   [[nodiscard]] graph::VertexId draw(Rng& rng) const;
 
   [[nodiscard]] graph::VertexId num_vertices() const {

@@ -1,0 +1,104 @@
+// Analytical timing backend: closed-form cache/latency formulas per kernel
+// region (DESIGN.md §13).
+//
+// While a kernel runs under TimingTier::kAnalytical the warp engine skips
+// every L1/L2 tag probe and instead feeds this accumulator one O(1) note per
+// warp request: which region (tlpsan access site) it belongs to, its op
+// class, how many 128 B lines and 32 B sectors it touched, and the line-span
+// endpoints. At kernel end, finalize() derives per-region footprints and
+// closed-form hit fractions, fills the cache/traffic counters of the
+// KernelRecord (l1/l2 accesses+hits, bytes_load, bytes_dram), replaces the
+// provisional load-stall charge with the expectation under the derived hit
+// mix, and returns the makespan rescale factor.
+//
+// The model (validated by ratio_band assertions against the mechanistic
+// tier):
+//  - distinct lines per region/class D = min(line touches T, address span),
+//    i.e. a region is either a streaming walk (T ≈ span) or a repeated
+//    gather over a table (span ≪ T);
+//  - each of the A active SMs pays its own compulsory L1 miss per distinct
+//    line, so L1 repeat probes = max(0, T - D·A), captured with probability
+//    min(1, L1 lines / D) (the region either fits in L1 or it doesn't);
+//  - the shared L2 captures repeats with probability min(1, L2 lines /
+//    Σ D over all regions) — regions compete for one L2;
+//  - sector-granular traffic scales with the line-level miss fractions;
+//  - atomics are exact: the mechanistic tier charges atomic_latency per
+//    request and conflict replay from the functional lane addresses, both of
+//    which this tier charges identically on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gpu_spec.hpp"
+
+namespace tlp::sim {
+
+struct KernelRecord;
+
+/// One op class (load/store/atomic) of one kernel region: the closed-form
+/// inputs, accumulated in O(1) per warp request.
+struct AnalyticalOpStats {
+  std::int64_t requests = 0;  ///< warp-level requests
+  std::int64_t lines = 0;     ///< line touches (what the mech tier probes)
+  std::int64_t sectors = 0;   ///< 32 B sectors
+  std::uint64_t min_line = ~std::uint64_t{0};
+  std::uint64_t max_line = 0;
+
+  void note(int nlines, int nsec, std::uint64_t lo, std::uint64_t hi) {
+    requests += 1;
+    lines += nlines;
+    sectors += nsec;
+    if (lo < min_line) min_line = lo;
+    if (hi > max_line) max_line = hi;
+  }
+};
+
+/// A kernel region = one tlpsan access site (id 0 collects unannotated
+/// accesses). Regions are the granularity at which the formulas run: each
+/// TLP_SITE in a kernel names one logical buffer walk, which is exactly the
+/// unit whose footprint/reuse behavior is coherent.
+struct AnalyticalRegion {
+  AnalyticalOpStats load;
+  AnalyticalOpStats store;
+  AnalyticalOpStats atomic;
+};
+
+class AnalyticalTiming {
+ public:
+  /// Clears the per-launch accumulators (called by the kernel scope when the
+  /// analytical tier is active). Region storage is retained across launches.
+  void begin_kernel() {
+    for (const std::uint32_t id : dirty_) {
+      regions_[id] = AnalyticalRegion{};
+      touched_[id] = 0;
+    }
+    dirty_.clear();
+  }
+
+  /// The accumulator for `site_id`, grown on demand.
+  AnalyticalRegion& region(std::uint32_t site_id) {
+    if (site_id >= regions_.size()) [[unlikely]] {
+      regions_.resize(site_id + 1);
+      touched_.resize(site_id + 1, 0);
+    }
+    if (!touched_[site_id]) {
+      touched_[site_id] = 1;
+      dirty_.push_back(site_id);
+    }
+    return regions_[site_id];
+  }
+
+  /// Applies the closed-form model: fills the cache/traffic counters of
+  /// `rec`, replaces the provisional load stall with the derived one, and
+  /// returns the factor by which the caller must rescale its makespan and
+  /// residency integral (corrected total cycles / provisional total cycles).
+  double finalize(const GpuSpec& spec, bool model_caches, KernelRecord& rec);
+
+ private:
+  std::vector<AnalyticalRegion> regions_;
+  std::vector<std::uint8_t> touched_;
+  std::vector<std::uint32_t> dirty_;
+};
+
+}  // namespace tlp::sim

@@ -1,0 +1,47 @@
+// Timing-tier selection for the warp engine (DESIGN.md §13).
+//
+// The functional layer (what bytes move, which lanes participate) is shared;
+// the timing backend that prices an access stream is pluggable:
+//
+//  - kMechanistic: the per-access model — every request probes the L1/L2 tag
+//    arrays, latency is charged per line outcome, atomic conflicts replay.
+//    Bit-identical to the pre-split engine; this is the reference tier every
+//    golden, tlpbench record, and fuzz oracle pins.
+//  - kAnalytical: closed-form sector/line/contention formulas per kernel
+//    region (sim/analytical.hpp). No tag probes on the hot path; cache hit
+//    fractions and latencies are derived at kernel end from per-region
+//    footprint accumulators. Validated against the mechanistic tier by
+//    ratio_band shape assertions (bench/baseline.json) and the differential
+//    suite in tests/test_analytical.cpp.
+#pragma once
+
+#include <string_view>
+
+namespace tlp::sim {
+
+enum class TimingTier {
+  kMechanistic,
+  kAnalytical,
+};
+
+[[nodiscard]] constexpr const char* timing_tier_name(TimingTier t) {
+  return t == TimingTier::kAnalytical ? "analytical" : "mech";
+}
+
+/// Accepts the CLI spellings ("mech" / "analytical"; "mechanistic" as an
+/// alias). Returns false on anything else — the checked CLI getters turn
+/// that into an exit-2 usage error naming the valid set.
+[[nodiscard]] inline bool timing_tier_from_name(std::string_view name,
+                                                TimingTier& out) {
+  if (name == "mech" || name == "mechanistic") {
+    out = TimingTier::kMechanistic;
+    return true;
+  }
+  if (name == "analytical") {
+    out = TimingTier::kAnalytical;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tlp::sim

@@ -51,6 +51,10 @@ void WarpCtx::record_trace(const std::array<std::uint64_t, kWarpSize>& addr,
 void WarpCtx::request_one_line(std::uint64_t line0, std::uint32_t smask,
                                Op op) {
   auto& sys = *sys_;
+  if (sys.tier != TimingTier::kMechanistic) [[unlikely]] {
+    analytical_one_line(line0, smask, op);
+    return;
+  }
   KernelRecord& rec = *sys.rec;
   const GpuSpec& spec = sys.spec;
   rec.requests += 1;
@@ -175,6 +179,10 @@ void WarpCtx::request_general(const std::array<std::uint64_t, kWarpSize>& addr,
 
 void WarpCtx::request_lines(const SectorLine* lines, int nlines, Op op) {
   auto& sys = *sys_;
+  if (sys.tier != TimingTier::kMechanistic) [[unlikely]] {
+    analytical_lines(lines, nlines, op);
+    return;
+  }
   KernelRecord& rec = *sys.rec;
   const GpuSpec& spec = sys.spec;
   rec.requests += 1;
@@ -283,6 +291,12 @@ void WarpCtx::request_scalar(std::uint64_t a, int bytes_per_lane, Op op) {
   }
   ++slot_;
 
+  if (sys.tier != TimingTier::kMechanistic) [[unlikely]] {
+    // One sector in one line — the one-line twin with a single-bit mask.
+    analytical_one_line(a >> 7, 0x1u, op);
+    return;
+  }
+
   // One active lane: exactly one 128 B line with one 32 B sector.
   rec.requests += 1;
   issue_ += 1;
@@ -326,6 +340,80 @@ void WarpCtx::request_scalar(std::uint64_t a, int bytes_per_lane, Op op) {
   if (!l1_hit && !l2_hit) rec.bytes_dram += sector_bytes;
 }
 
+// --- analytical-tier accounting twins ---------------------------------------
+// One O(1) note per request instead of per-line tag probes. The functional
+// counters (requests, sectors, bytes_store, bytes_atomic, issue) and the
+// exact atomic latency match the mechanistic twins bit for bit; loads carry
+// a provisional flat L2-latency charge that AnalyticalTiming::finalize()
+// swaps for the expectation under the derived hit mix at kernel end.
+
+void WarpCtx::analytical_one_line(std::uint64_t line0, std::uint32_t smask,
+                                  Op op) {
+  auto& sys = *sys_;
+  KernelRecord& rec = *sys.rec;
+  const GpuSpec& spec = sys.spec;
+  rec.requests += 1;
+  issue_ += 1;
+  const int nsec = std::popcount(smask);
+  rec.sectors += nsec;
+  const std::int64_t bytes =
+      nsec * static_cast<std::int64_t>(spec.sector_bytes);
+  AnalyticalRegion& r =
+      sys.analytical.region(site_ != nullptr ? site_->id : 0);
+  switch (op) {
+    case Op::kLoad:
+      r.load.note(1, nsec, line0, line0);
+      mem_ += spec.l2_latency / spec.load_pipeline_depth;
+      break;
+    case Op::kStore:
+      r.store.note(1, nsec, line0, line0);
+      rec.bytes_store += bytes;
+      break;
+    case Op::kAtomic:
+      r.atomic.note(1, nsec, line0, line0);
+      rec.bytes_atomic += bytes;
+      mem_ += spec.atomic_latency;
+      break;
+  }
+}
+
+void WarpCtx::analytical_lines(const SectorLine* lines, int nlines, Op op) {
+  auto& sys = *sys_;
+  KernelRecord& rec = *sys.rec;
+  const GpuSpec& spec = sys.spec;
+  rec.requests += 1;
+  issue_ += 1;
+  int nsec = 0;
+  std::uint64_t lo = ~std::uint64_t{0};
+  std::uint64_t hi = 0;
+  for (int i = 0; i < nlines; ++i) {
+    const auto& e = lines[static_cast<std::size_t>(i)];
+    nsec += std::popcount(e.sectors);
+    lo = std::min(lo, e.line);
+    hi = std::max(hi, e.line);
+  }
+  rec.sectors += nsec;
+  const std::int64_t bytes =
+      nsec * static_cast<std::int64_t>(spec.sector_bytes);
+  AnalyticalRegion& r =
+      sys.analytical.region(site_ != nullptr ? site_->id : 0);
+  switch (op) {
+    case Op::kLoad:
+      r.load.note(nlines, nsec, lo, hi);
+      mem_ += spec.l2_latency / spec.load_pipeline_depth;
+      break;
+    case Op::kStore:
+      r.store.note(nlines, nsec, lo, hi);
+      rec.bytes_store += bytes;
+      break;
+    case Op::kAtomic:
+      r.atomic.note(nlines, nsec, lo, hi);
+      rec.bytes_atomic += bytes;
+      mem_ += spec.atomic_latency;
+      break;
+  }
+}
+
 // The vector load/store entry points fuse the single-line scan into the
 // per-lane data-movement loop (line0/off_line/smask stay in registers — no
 // re-read of the 256 B address array) and call the one-line accounting
@@ -335,9 +423,10 @@ void WarpCtx::request_scalar(std::uint64_t a, int bytes_per_lane, Op op) {
 // the probe's memory access overlaps the rest of the lane loop. Counter and
 // cost effects are byte-identical to routing through request().
 
-WVec<float> WarpCtx::load_f32(DevPtr<float> base,
-                              const WVec<std::int64_t>& idx, Mask m) {
-  WVec<float> out{};
+template <class T>
+WVec<T> WarpCtx::load_vec(DevPtr<T> base, const WVec<std::int64_t>& idx,
+                          Mask m) {
+  WVec<T> out{};
   if (m == 0) return out;
   std::array<std::uint64_t, kWarpSize> addr{};
   const auto& mem = sys_->mem;
@@ -346,13 +435,15 @@ WVec<float> WarpCtx::load_f32(DevPtr<float> base,
   std::uint32_t smask = 0;
   if (m == kFullMask) {
     // Full warp: a plain counted loop unrolls and pipelines better than the
-    // mask walk (no serial dependency on the remaining-lanes word).
+    // mask walk (no serial dependency on the remaining-lanes word). The
+    // visit order is lane-ascending either way, so counters, cache state,
+    // and data effects are identical.
     line0 = base.addr(idx[0]) >> 7;
     sys_->l1[static_cast<std::size_t>(sm_)].prefetch_set(line0 << 7);
     for (std::size_t l = 0; l < kWarpSize; ++l) {
       const std::uint64_t a = base.addr(idx[l]);
       addr[l] = a;
-      out[l] = mem.read<float>(a);
+      out[l] = mem.read<T>(a);
       off_line |= (a >> 7) ^ line0;
       smask |= 1u << ((a >> 5) & 3u);
     }
@@ -363,13 +454,13 @@ WVec<float> WarpCtx::load_f32(DevPtr<float> base,
       const auto l = static_cast<std::size_t>(std::countr_zero(rem));
       const std::uint64_t a = base.addr(idx[l]);
       addr[l] = a;
-      out[l] = mem.read<float>(a);
+      out[l] = mem.read<T>(a);
       off_line |= (a >> 7) ^ line0;
       smask |= 1u << ((a >> 5) & 3u);
     }
   }
   if (sys_->trace != nullptr) [[unlikely]]
-    record_trace(addr, m, 4, Op::kLoad, false);
+    record_trace(addr, m, static_cast<int>(sizeof(T)), Op::kLoad, false);
   ++slot_;
   if (off_line == 0)
     request_one_line(line0, smask, Op::kLoad);
@@ -378,66 +469,9 @@ WVec<float> WarpCtx::load_f32(DevPtr<float> base,
   return out;
 }
 
-WVec<std::int32_t> WarpCtx::load_i32(DevPtr<std::int32_t> base,
-                                     const WVec<std::int64_t>& idx, Mask m) {
-  WVec<std::int32_t> out{};
-  if (m == 0) return out;
-  std::array<std::uint64_t, kWarpSize> addr{};
-  const auto& mem = sys_->mem;
-  const std::uint64_t line0 =
-      base.addr(idx[static_cast<std::size_t>(std::countr_zero(m))]) >> 7;
-  sys_->l1[static_cast<std::size_t>(sm_)].prefetch_set(line0 << 7);
-  std::uint64_t off_line = 0;
-  std::uint32_t smask = 0;
-  for (Mask rem = m; rem != 0; rem &= rem - 1) {
-    const auto l = static_cast<std::size_t>(std::countr_zero(rem));
-    const std::uint64_t a = base.addr(idx[l]);
-    addr[l] = a;
-    out[l] = mem.read<std::int32_t>(a);
-    off_line |= (a >> 7) ^ line0;
-    smask |= 1u << ((a >> 5) & 3u);
-  }
-  if (sys_->trace != nullptr) [[unlikely]]
-    record_trace(addr, m, 4, Op::kLoad, false);
-  ++slot_;
-  if (off_line == 0)
-    request_one_line(line0, smask, Op::kLoad);
-  else
-    request_general(addr, m, Op::kLoad);
-  return out;
-}
-
-WVec<std::int64_t> WarpCtx::load_i64(DevPtr<std::int64_t> base,
-                                     const WVec<std::int64_t>& idx, Mask m) {
-  WVec<std::int64_t> out{};
-  if (m == 0) return out;
-  std::array<std::uint64_t, kWarpSize> addr{};
-  const auto& mem = sys_->mem;
-  const std::uint64_t line0 =
-      base.addr(idx[static_cast<std::size_t>(std::countr_zero(m))]) >> 7;
-  sys_->l1[static_cast<std::size_t>(sm_)].prefetch_set(line0 << 7);
-  std::uint64_t off_line = 0;
-  std::uint32_t smask = 0;
-  for (Mask rem = m; rem != 0; rem &= rem - 1) {
-    const auto l = static_cast<std::size_t>(std::countr_zero(rem));
-    const std::uint64_t a = base.addr(idx[l]);
-    addr[l] = a;
-    out[l] = mem.read<std::int64_t>(a);
-    off_line |= (a >> 7) ^ line0;
-    smask |= 1u << ((a >> 5) & 3u);
-  }
-  if (sys_->trace != nullptr) [[unlikely]]
-    record_trace(addr, m, 8, Op::kLoad, false);
-  ++slot_;
-  if (off_line == 0)
-    request_one_line(line0, smask, Op::kLoad);
-  else
-    request_general(addr, m, Op::kLoad);
-  return out;
-}
-
-void WarpCtx::store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
-                        const WVec<float>& val, Mask m) {
+template <class T>
+void WarpCtx::store_vec(DevPtr<T> base, const WVec<std::int64_t>& idx,
+                        const WVec<T>& val, Mask m) {
   if (m == 0) return;
   std::array<std::uint64_t, kWarpSize> addr{};
   std::uint64_t line0 = 0;
@@ -449,8 +483,8 @@ void WarpCtx::store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
     for (std::size_t l = 0; l < kWarpSize; ++l) {
       const std::uint64_t a = base.addr(idx[l]);
       addr[l] = a;
-      sys_->mem.write<float>(a, val[l]);
-      note_store(a, 4, /*atomic=*/false);
+      sys_->mem.write<T>(a, val[l]);
+      note_store(a, static_cast<int>(sizeof(T)), /*atomic=*/false);
       off_line |= (a >> 7) ^ line0;
       smask |= 1u << ((a >> 5) & 3u);
     }
@@ -461,19 +495,39 @@ void WarpCtx::store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
       const auto l = static_cast<std::size_t>(std::countr_zero(rem));
       const std::uint64_t a = base.addr(idx[l]);
       addr[l] = a;
-      sys_->mem.write<float>(a, val[l]);
-      note_store(a, 4, /*atomic=*/false);
+      sys_->mem.write<T>(a, val[l]);
+      note_store(a, static_cast<int>(sizeof(T)), /*atomic=*/false);
       off_line |= (a >> 7) ^ line0;
       smask |= 1u << ((a >> 5) & 3u);
     }
   }
   if (sys_->trace != nullptr) [[unlikely]]
-    record_trace(addr, m, 4, Op::kStore, false);
+    record_trace(addr, m, static_cast<int>(sizeof(T)), Op::kStore, false);
   ++slot_;
   if (off_line == 0)
     request_one_line(line0, smask, Op::kStore);
   else
     request_general(addr, m, Op::kStore);
+}
+
+WVec<float> WarpCtx::load_f32(DevPtr<float> base,
+                              const WVec<std::int64_t>& idx, Mask m) {
+  return load_vec<float>(base, idx, m);
+}
+
+WVec<std::int32_t> WarpCtx::load_i32(DevPtr<std::int32_t> base,
+                                     const WVec<std::int64_t>& idx, Mask m) {
+  return load_vec<std::int32_t>(base, idx, m);
+}
+
+WVec<std::int64_t> WarpCtx::load_i64(DevPtr<std::int64_t> base,
+                                     const WVec<std::int64_t>& idx, Mask m) {
+  return load_vec<std::int64_t>(base, idx, m);
+}
+
+void WarpCtx::store_f32(DevPtr<float> base, const WVec<std::int64_t>& idx,
+                        const WVec<float>& val, Mask m) {
+  store_vec<float>(base, idx, val, m);
 }
 
 namespace {
@@ -506,14 +560,15 @@ inline std::array<std::uint64_t, kWarpSize> seq_addrs(std::uint64_t a0,
 // demand. All observable effects (data, counters, cache state, costs,
 // trace) are identical to the general path with idx[l] = start+l.
 
-WVec<float> WarpCtx::load_f32_seq(DevPtr<float> base, std::int64_t start,
-                                  int n) {
-  if (n <= 0) return WVec<float>{};
+template <class T>
+WVec<T> WarpCtx::load_seq_vec(DevPtr<T> base, std::int64_t start, int n) {
+  static_assert(sizeof(T) == 4, "sequential loads are 4-byte elements");
+  if (n <= 0) return WVec<T>{};
   if (n > kWarpSize) n = kWarpSize;
   if (sys_->mem.mode() != MemoryMode::kFast) [[unlikely]]
-    return load_f32(base, seq_idx(start, n), lanes_below(n));
-  WVec<float> out;
-  for (int l = n; l < kWarpSize; ++l) out[static_cast<std::size_t>(l)] = 0.0f;
+    return load_vec<T>(base, seq_idx(start, n), lanes_below(n));
+  WVec<T> out;
+  for (int l = n; l < kWarpSize; ++l) out[static_cast<std::size_t>(l)] = T{};
   const std::uint64_t a0 = base.addr(start);
   sys_->l1[static_cast<std::size_t>(sm_)].prefetch_set(a0);
   sys_->mem.read_block(a0, out.data(), static_cast<std::size_t>(n));
@@ -524,22 +579,14 @@ WVec<float> WarpCtx::load_f32_seq(DevPtr<float> base, std::int64_t start,
   return out;
 }
 
+WVec<float> WarpCtx::load_f32_seq(DevPtr<float> base, std::int64_t start,
+                                  int n) {
+  return load_seq_vec<float>(base, start, n);
+}
+
 WVec<std::int32_t> WarpCtx::load_i32_seq(DevPtr<std::int32_t> base,
                                          std::int64_t start, int n) {
-  if (n <= 0) return WVec<std::int32_t>{};
-  if (n > kWarpSize) n = kWarpSize;
-  if (sys_->mem.mode() != MemoryMode::kFast) [[unlikely]]
-    return load_i32(base, seq_idx(start, n), lanes_below(n));
-  WVec<std::int32_t> out;
-  for (int l = n; l < kWarpSize; ++l) out[static_cast<std::size_t>(l)] = 0;
-  const std::uint64_t a0 = base.addr(start);
-  sys_->l1[static_cast<std::size_t>(sm_)].prefetch_set(a0);
-  sys_->mem.read_block(a0, out.data(), static_cast<std::size_t>(n));
-  if (sys_->trace != nullptr) [[unlikely]]
-    record_trace(seq_addrs(a0, n), lanes_below(n), 4, Op::kLoad, false);
-  ++slot_;
-  request_span(a0, a0 + 4u * static_cast<std::uint32_t>(n - 1), Op::kLoad);
-  return out;
+  return load_seq_vec<std::int32_t>(base, start, n);
 }
 
 void WarpCtx::store_f32_seq(DevPtr<float> base, std::int64_t start,

@@ -11,10 +11,12 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/analytical.hpp"
 #include "sim/cache.hpp"
 #include "sim/counters.hpp"
 #include "sim/device_memory.hpp"
 #include "sim/gpu_spec.hpp"
+#include "sim/timing.hpp"
 #include "sim/trace.hpp"
 
 namespace tlp::sim {
@@ -47,6 +49,13 @@ struct MemorySystem {
   AccessTrace* trace = nullptr;
   /// Tests can disable tag simulation to get pure compulsory traffic.
   bool model_caches = true;
+  /// Which timing backend prices the access stream (sim/timing.hpp). The
+  /// functional layer — data movement, lane masks, byte counts, atomic
+  /// ordering — is identical under both tiers.
+  TimingTier tier = TimingTier::kMechanistic;
+  /// Per-region accumulators for the analytical tier; unused (and never
+  /// touched) under the mechanistic tier.
+  AnalyticalTiming analytical;
 
   explicit MemorySystem(const GpuSpec& s);
   void reset_caches();
@@ -176,6 +185,23 @@ class WarpCtx {
  private:
   enum class Op { kLoad, kStore, kAtomic };
 
+  /// SIMD-style batched core of the vector gather: one lane loop moves the
+  /// data, computes the 32 addresses, and fuses the single-line coalescing
+  /// scan; `*_seq` and the typed public entry points are instances of this
+  /// form. Full-mask requests take a counted loop (unrolls and pipelines
+  /// better than the serial mask walk) — the visit order is lane-ascending
+  /// either way, so counters and cache state are identical.
+  template <class T>
+  WVec<T> load_vec(DevPtr<T> base, const WVec<std::int64_t>& idx, Mask m);
+  /// Batched scatter core, same shape as load_vec.
+  template <class T>
+  void store_vec(DevPtr<T> base, const WVec<std::int64_t>& idx,
+                 const WVec<T>& val, Mask m);
+  /// Batched sequential-range gather: the `*_seq` fast paths are this one
+  /// template (4-byte elements; block copy + closed-form span accounting).
+  template <class T>
+  WVec<T> load_seq_vec(DevPtr<T> base, std::int64_t start, int n);
+
   /// Core of the memory model: dedupes lane addresses into 32 B sectors and
   /// 128 B lines, probes the caches, charges latency, and records traffic.
   /// `scalar` marks single-lane broadcast accesses so the divergence pass
@@ -219,6 +245,14 @@ class WarpCtx {
   /// address array. Produces exactly the counters/costs request() would for
   /// mask 0x1, including the identical TraceAccess when a trace is attached.
   void request_scalar(std::uint64_t addr, int bytes_per_lane, Op op);
+
+  // --- analytical-tier accounting twins ------------------------------------
+  // The functional counters (requests, sectors, bytes_store/atomic, issue)
+  // and the exact atomic charges match the mechanistic accounting; cache
+  // probes are replaced by one O(1) note into the per-region accumulator and
+  // loads carry a provisional flat charge that finalize() corrects.
+  void analytical_one_line(std::uint64_t line0, std::uint32_t smask, Op op);
+  void analytical_lines(const SectorLine* lines, int nlines, Op op);
 
   /// Cold path: builds and records the TraceAccess for an attached tlpsan
   /// trace. Kept out of line so the (trace == nullptr) common case pays only

@@ -1,0 +1,75 @@
+# CLI regression check (ISSUE 10): enum-valued flags must reject unknown
+# values with exit code 2 and a diagnostic that names the valid set, across
+# every tool that parses one — never fall through to a default or die with a
+# generic CheckError (exit 1). Invoked by ctest as
+#   cmake -DTLPBENCH=... -DTLPGNN_CLI=... -DTLPSERVE=... -DBASELINE=...
+#         -P check_cli_enums.cmake
+
+# Case 1: tlpbench --timing-tier with a value that is not a tier.
+execute_process(
+  COMMAND "${TLPBENCH}" run --only table1 --max-edges 5000
+          --timing-tier warp
+          --out "${CMAKE_CURRENT_BINARY_DIR}/cli_enums_unused.json"
+          --baseline "${BASELINE}"
+  RESULT_VARIABLE rc1
+  ERROR_VARIABLE err1
+  OUTPUT_QUIET)
+if(NOT rc1 EQUAL 2)
+  message(FATAL_ERROR "tlpbench bad --timing-tier: expected exit 2, got ${rc1}")
+endif()
+if(NOT err1 MATCHES "timing-tier" OR NOT err1 MATCHES "valid:.*analytical")
+  message(FATAL_ERROR
+          "tlpbench bad --timing-tier: diagnostic must name the flag and the "
+          "valid set, got: ${err1}")
+endif()
+# The rejected run must not have left a report behind.
+if(EXISTS "${CMAKE_CURRENT_BINARY_DIR}/cli_enums_unused.json")
+  message(FATAL_ERROR "rejected tlpbench run wrote a report; it must not")
+endif()
+
+# Case 2: tlpgnn_cli --timing-tier, same contract on the other front end.
+execute_process(
+  COMMAND "${TLPGNN_CLI}" run --max-edges 2000 --timing-tier bogus
+  RESULT_VARIABLE rc2
+  ERROR_VARIABLE err2
+  OUTPUT_QUIET)
+if(NOT rc2 EQUAL 2)
+  message(FATAL_ERROR
+          "tlpgnn_cli bad --timing-tier: expected exit 2, got ${rc2}")
+endif()
+if(NOT err2 MATCHES "timing-tier" OR NOT err2 MATCHES "valid:.*mech")
+  message(FATAL_ERROR
+          "tlpgnn_cli bad --timing-tier: diagnostic must name the flag and "
+          "the valid set, got: ${err2}")
+endif()
+
+# Case 3: tlpserve --cache-policy, the pre-existing enum flag swept into the
+# same checked-getter path.
+execute_process(
+  COMMAND "${TLPSERVE}" --max-edges 2000 --requests 4
+          --cache-policy lru
+  RESULT_VARIABLE rc3
+  ERROR_VARIABLE err3
+  OUTPUT_QUIET)
+if(NOT rc3 EQUAL 2)
+  message(FATAL_ERROR "tlpserve bad --cache-policy: expected exit 2, got ${rc3}")
+endif()
+if(NOT err3 MATCHES "cache-policy" OR NOT err3 MATCHES "valid:.*presample")
+  message(FATAL_ERROR
+          "tlpserve bad --cache-policy: diagnostic must name the flag and "
+          "the valid set, got: ${err3}")
+endif()
+
+# Case 4: valid aliases still parse — "mechanistic" is an accepted spelling
+# of the default tier, so the checked getter must not be stricter than the
+# documented set.
+execute_process(
+  COMMAND "${TLPGNN_CLI}" run --max-edges 2000 --timing-tier mechanistic
+  RESULT_VARIABLE rc4
+  ERROR_VARIABLE err4
+  OUTPUT_QUIET)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR
+          "tlpgnn_cli --timing-tier mechanistic: expected exit 0, got ${rc4} "
+          "(${err4})")
+endif()

@@ -1,0 +1,170 @@
+// Differential suite for the pluggable timing tiers (DESIGN.md §13): every
+// kernel strategy x the three analytical_cases.hpp graph shapes, run under
+// both tiers.
+//
+// The mechanistic tier is pinned *exactly*: the formatted counter record of
+// each case must match tests/goldens/mech_counters.txt byte for byte — the
+// golden file was generated against the pre-refactor build, so any drift in
+// the functional layer or the mechanistic backend fails here first.
+//
+// The analytical tier is validated by *bands*: functional counters (what
+// bytes move) must be identical to the mechanistic run, modeled counters
+// (what the caches/latency formulas derive) must land inside the declared
+// envelope. The envelope mirrors the measured analytical/mechanistic ratio
+// range across the full matrix, with headroom; bench/baseline.json carries
+// the same style of ratio_band assertions at bench scale.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "analytical_cases.hpp"
+#include "sim/timing.hpp"
+
+namespace tlp::testing {
+namespace {
+
+// Declared analytical/mechanistic ratio bands for the modeled metrics. The
+// wide bytes_load ceiling is the documented uniform-sharing limitation: the
+// model assumes distinct lines are compulsory-missed once per active SM, so
+// partitioned reuse patterns (the ring shape) overestimate L1 refill
+// traffic; see DESIGN.md §13.
+struct Band {
+  double lo, hi;
+};
+constexpr Band kBytesLoadBand{0.5, 20.0};
+constexpr Band kBytesDramBand{0.9, 6.0};
+constexpr Band kMemStallBand{0.4, 8.0};
+constexpr Band kElapsedBand{0.5, 5.0};
+
+/// name ("<runner> <graph>") -> full formatted record, parsed from the
+/// committed golden file.
+std::map<std::string, std::string> load_goldens() {
+  const std::string path =
+      std::string(TLP_SOURCE_DIR) + "/tests/goldens/mech_counters.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::map<std::string, std::string> out;
+  std::string line, key, body;
+  while (std::getline(in, line)) {
+    if (line.rfind("case ", 0) == 0) {
+      if (!key.empty()) out[key] = body;
+      key = line.substr(5);
+      body = line + "\n";
+    } else if (!key.empty()) {
+      body += line + "\n";
+    }
+  }
+  if (!key.empty()) out[key] = body;
+  return out;
+}
+
+CounterSums run_case(const fuzz::KernelRunner& runner, const graph::Csr& g,
+                     sim::TimingTier tier) {
+  sim::DeviceOptions opts;
+  opts.timing_tier = tier;
+  sim::Device dev(sim::GpuSpec::v100(), opts);
+  const models::ConvSpec spec = analytical_spec(runner.name);
+  const tensor::Tensor h = analytical_features(g.num_vertices());
+  (void)runner.run(dev, g, h, spec, sim::LaunchConfig{});
+  return sum_counters(dev);
+}
+
+void expect_in_band(const char* what, double ana, double mech, Band band,
+                    const std::string& label) {
+  if (mech == 0.0) {
+    EXPECT_EQ(ana, 0.0) << label << ": " << what
+                        << " is zero mechanistically but not analytically";
+    return;
+  }
+  const double ratio = ana / mech;
+  EXPECT_GE(ratio, band.lo) << label << ": " << what << " ratio " << ratio
+                            << " below band [" << band.lo << ", " << band.hi
+                            << "] (ana " << ana << ", mech " << mech << ")";
+  EXPECT_LE(ratio, band.hi) << label << ": " << what << " ratio " << ratio
+                            << " above band [" << band.lo << ", " << band.hi
+                            << "] (ana " << ana << ", mech " << mech << ")";
+}
+
+// The mechanistic tier must stay byte-identical to the pre-refactor goldens:
+// every counter of every (strategy, shape) case, doubles round-tripped at
+// full precision.
+TEST(TimingTiers, MechanisticMatchesPreRefactorGoldens) {
+  const auto goldens = load_goldens();
+  const auto graphs = analytical_graphs();
+  ASSERT_EQ(goldens.size(), fuzz::kernel_runners().size() * graphs.size());
+  for (const auto& runner : fuzz::kernel_runners()) {
+    for (const auto& gc : graphs) {
+      const CounterSums s =
+          run_case(runner, gc.g, sim::TimingTier::kMechanistic);
+      const std::string key = runner.name + " " + gc.name;
+      const auto it = goldens.find(key);
+      ASSERT_NE(it, goldens.end()) << "no golden for case " << key;
+      EXPECT_EQ(format_case(runner.name, gc.name, s), it->second)
+          << "mechanistic counters drifted for case " << key;
+    }
+  }
+}
+
+// The analytical tier shares the functional layer, so everything that
+// describes what the kernel *does* — requests, sectors, stored/atomic
+// bytes, line probes, atomic serialization, issue work — is identical; only
+// the cache-derived metrics are modeled, and those must land in the
+// declared bands.
+TEST(TimingTiers, AnalyticalWithinDeclaredBandsOfMechanistic) {
+  const auto graphs = analytical_graphs();
+  for (const auto& runner : fuzz::kernel_runners()) {
+    for (const auto& gc : graphs) {
+      const std::string label = runner.name + " " + gc.name;
+      const CounterSums m =
+          run_case(runner, gc.g, sim::TimingTier::kMechanistic);
+      const CounterSums a =
+          run_case(runner, gc.g, sim::TimingTier::kAnalytical);
+
+      // Functional: identical by construction.
+      EXPECT_EQ(a.requests, m.requests) << label;
+      EXPECT_EQ(a.sectors, m.sectors) << label;
+      EXPECT_EQ(a.bytes_store, m.bytes_store) << label;
+      EXPECT_EQ(a.bytes_atomic, m.bytes_atomic) << label;
+      EXPECT_EQ(a.atomic_ops, m.atomic_ops) << label;
+      EXPECT_EQ(a.l1_accesses, m.l1_accesses) << label;
+      EXPECT_DOUBLE_EQ(a.issue_cycles, m.issue_cycles) << label;
+      EXPECT_DOUBLE_EQ(a.atomic_stall_cycles, m.atomic_stall_cycles) << label;
+
+      // Modeled: inside the declared envelope.
+      expect_in_band("bytes_load", static_cast<double>(a.bytes_load),
+                     static_cast<double>(m.bytes_load), kBytesLoadBand, label);
+      expect_in_band("bytes_dram", static_cast<double>(a.bytes_dram),
+                     static_cast<double>(m.bytes_dram), kBytesDramBand, label);
+      expect_in_band("mem_stall_cycles", a.mem_stall_cycles,
+                     m.mem_stall_cycles, kMemStallBand, label);
+      expect_in_band("elapsed_cycles", a.elapsed_cycles, m.elapsed_cycles,
+                     kElapsedBand, label);
+
+      // Internal consistency of the modeled cache hierarchy.
+      EXPECT_GE(a.l1_hits, 0) << label;
+      EXPECT_LE(a.l1_hits, a.l1_accesses) << label;
+      EXPECT_LE(a.l2_hits, a.l2_accesses) << label;
+    }
+  }
+}
+
+// Tier selection is per-device: two devices over the same workload, one per
+// tier, never share accounting state, and the tier is reported faithfully.
+TEST(TimingTiers, TierNamesRoundTrip) {
+  sim::TimingTier t = sim::TimingTier::kMechanistic;
+  EXPECT_TRUE(sim::timing_tier_from_name("analytical", t));
+  EXPECT_EQ(t, sim::TimingTier::kAnalytical);
+  EXPECT_TRUE(sim::timing_tier_from_name("mech", t));
+  EXPECT_EQ(t, sim::TimingTier::kMechanistic);
+  EXPECT_TRUE(sim::timing_tier_from_name("mechanistic", t));
+  EXPECT_EQ(t, sim::TimingTier::kMechanistic);
+  t = sim::TimingTier::kAnalytical;
+  EXPECT_FALSE(sim::timing_tier_from_name("warp", t));
+  EXPECT_EQ(t, sim::TimingTier::kAnalytical);  // unchanged on failure
+}
+
+}  // namespace
+}  // namespace tlp::testing

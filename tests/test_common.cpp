@@ -102,6 +102,34 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
 }
 
+// Edge cases of the documented inclusive-interpolation rule (stats.hpp):
+// empty and single-sample inputs, exact endpoints, and hand-computed
+// interior interpolations — the rule SloReport's p50/p99 inherit.
+TEST(Stats, PercentileEdgeCases) {
+  // Empty input reports 0 for every q, including the endpoints.
+  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 1.0), 0.0);
+  // A single sample is every percentile of itself.
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.37), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 1.0), 7.5);
+  // q = 1.0 must return the maximum exactly — position q*(n-1) is the last
+  // order statistic with zero fractional part, not an out-of-range read.
+  EXPECT_DOUBLE_EQ(percentile({2, 9, 4}, 1.0), 9.0);
+  // Interior interpolation, hand-computed: sorted {10, 20, 40}, position
+  // 0.25 * 2 = 0.5 -> halfway between 10 and 20.
+  EXPECT_DOUBLE_EQ(percentile({40, 10, 20}, 0.25), 15.0);
+  // p99 over 1..100: position 0.99 * 99 = 98.01 -> 99 + 0.01 * (100 - 99).
+  std::vector<double> xs(100);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<double>(i + 1);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 99.01);
+  // Out-of-range q is a caller bug, not a clamp.
+  EXPECT_THROW(percentile({1.0}, -0.1), CheckError);
+  EXPECT_THROW(percentile({1.0}, 1.1), CheckError);
+}
+
 TEST(Stats, GiniUniformZeroSkewedHigh) {
   EXPECT_NEAR(gini({1, 1, 1, 1}), 0.0, 1e-12);
   EXPECT_GT(gini({0, 0, 0, 100}), 0.7);

@@ -117,6 +117,29 @@ TEST(FeatureCache, RespectsBudgetAndPolicy) {
   }
 }
 
+// Regression (ISSUE 10): `--cache-rounds 0` is a valid configuration — zero
+// warm-up rounds leave every presample score at zero, so drop_zero_scores
+// pins nothing and the cache degrades to the uncached gather path (still
+// byte-identical) instead of dividing by an empty sample or pinning
+// arbitrary rows.
+TEST(FeatureCache, ZeroWarmupRoundsPinsNothingAndGathersBitIdentically) {
+  const World w = make_world();
+  const TrafficOptions t = small_traffic();
+  FeatureCacheOptions c = presample(0.25);
+  c.warmup_rounds = 0;
+  FeatureCache cache(w.g, w.feat, t, c);
+  EXPECT_EQ(cache.stats().pinned_rows, 0);
+  EXPECT_TRUE(cache.pinned_vertices().empty());
+
+  const auto traffic = generate_traffic(w.g, w.feat, t);
+  for (const Request& r : traffic) {
+    Tensor cached;
+    cache.gather(r.ego.to_global, cached);
+    EXPECT_EQ(cached, gather_rows(w.feat, r.ego.to_global)) << "req " << r.id;
+  }
+  EXPECT_EQ(cache.stats().hit_rows, 0);  // nothing pinned, nothing hits
+}
+
 // --- gather: bit-identity + accounting -------------------------------------
 
 TEST(FeatureCache, GatherIsBitIdenticalToUncachedPath) {

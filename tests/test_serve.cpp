@@ -128,6 +128,41 @@ TEST(Traffic, EgoSubgraphRespectsCapAndHops) {
   EXPECT_THROW((void)ego_subgraph(w.g, 5, 1, 0), CheckError);
 }
 
+// Regression (ISSUE 10): the seeded permutation must re-derive identically
+// at the degenerate vertex counts. n == 1 has zero Fisher–Yates swaps but
+// every draw still consumes its one variate and returns vertex 0.
+TEST(Traffic, QueryStreamSingleVertexIsStable) {
+  for (const double alpha : {0.0, 0.8}) {
+    Rng rng_a(99), rng_b(99);
+    const QueryStream a(1, alpha, rng_a);
+    const QueryStream b(1, alpha, rng_b);
+    EXPECT_EQ(a.num_vertices(), 1);
+    EXPECT_EQ(b.num_vertices(), 1);
+    Rng draws(7);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.draw(draws), 0);
+    // Construction consumed identical rng state for both streams.
+    EXPECT_EQ(rng_a.next_below(1u << 20), rng_b.next_below(1u << 20));
+  }
+}
+
+// Regression (ISSUE 10): an empty vertex set constructs (consuming zero rng
+// draws, so downstream seed sequences are unperturbed) but draw() fails a
+// check in every build mode instead of hitting the empty-range UB of
+// Rng::next_below(0).
+TEST(Traffic, QueryStreamEmptyVertexSetConstructsButCannotDraw) {
+  Rng rng(3);
+  const QueryStream empty(0, 0.8, rng);
+  EXPECT_EQ(empty.num_vertices(), 0);
+  Rng draws(7);
+  EXPECT_THROW((void)empty.draw(draws), CheckError);
+  // Construction left the caller's rng untouched.
+  Rng fresh(3);
+  EXPECT_EQ(rng.next_below(1u << 20), fresh.next_below(1u << 20));
+  // Negative counts stay rejected.
+  Rng neg(3);
+  EXPECT_THROW(QueryStream(-1, 0.8, neg), CheckError);
+}
+
 // --- serving: happy path ---------------------------------------------------
 
 TEST(Server, FaultFreeServesEverythingOk) {

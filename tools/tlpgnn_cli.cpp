@@ -4,6 +4,7 @@
 //                   [--graph file.el] [--feature 32] [--heads 1]
 //                   [--max-edges N] [--full] [--gpu-scale D] [--seed S]
 //                   [--check] [--repeat R]
+//                   [--timing-tier mech|analytical]
 //                   [--memcheck] [--device-mem-gb G]
 //                   [--oom-at N] [--fail-launch N]
 //                   [--flip-at N] [--flip-bits B] [--flip-alloc I]
@@ -73,6 +74,12 @@ sim::DeviceOptions device_options(const Args& args) {
   sim::DeviceOptions opts;
   if (args.get_bool("memcheck", false))
     opts.mem_mode = sim::MemoryMode::kGuarded;
+  // --timing-tier {mech,analytical}: mechanistic (default, bit-pinned) or
+  // the closed-form analytical fast tier (DESIGN.md §13). An unknown value
+  // throws UsageError → exit 2.
+  const std::string tier = args.get_choice(
+      "timing-tier", "mech", {"mech", "mechanistic", "analytical"});
+  (void)sim::timing_tier_from_name(tier, opts.timing_tier);
   // Strict parsing: a mistyped fault flag must die with a message naming the
   // flag, not silently inject nothing (or fault allocation #0 forever).
   constexpr std::int64_t kSeqMax = 1'000'000'000'000;
@@ -228,6 +235,9 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "info") return cmd_info(args);
     std::fprintf(stderr, "unknown command '%s' (run|gen|info)\n", cmd.c_str());
+    return 2;
+  } catch (const tlp::UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const tlp::CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

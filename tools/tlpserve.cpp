@@ -189,8 +189,8 @@ std::optional<serve::FeatureCacheOptions> cache_options(const Args& args) {
     return std::nullopt;
   }
   serve::FeatureCacheOptions c;
-  c.policy =
-      serve::cache_policy_from_name(args.get("cache-policy", "presample"));
+  c.policy = serve::cache_policy_from_name(args.get_choice(
+      "cache-policy", "presample", {"presample", "degree", "none"}));
   c.cache_ratio = args.get_double_checked("cache-ratio", 0.10, 0, 1);
   c.warmup_rounds =
       static_cast<int>(args.get_int_checked("cache-rounds", 3, 0, 1024));
@@ -358,6 +358,9 @@ int main(int argc, char** argv) {
   }
   try {
     return run(args);
+  } catch (const tlp::UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const tlp::CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
